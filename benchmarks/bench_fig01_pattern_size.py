@@ -1,0 +1,65 @@
+"""Figure 1: runtime vs pattern size (k-motif and k-cycle on EmailEuCore).
+
+Paper's point: a pattern-aware enumeration system's runtime explodes with
+pattern size, while the pattern-decomposition approach grows far slower —
+the motivating gap of the whole paper.  Reproduced with the Peregrine
+re-implementation as the enumeration system and the DecoMine session as
+the decomposition system, on the ``ee`` analogue.
+
+Expected shape: DecoMine's advantage grows with k; Peregrine times out
+first.
+"""
+
+from __future__ import annotations
+
+from repro.apps import count_cycles, count_motifs
+from repro.bench import Table, make_system, measure_cell
+from repro.graph import datasets
+
+TIMEOUT = 90.0
+
+
+def run_experiment():
+    graph = datasets.load("ee")
+    decomine = make_system("decomine", graph)
+    peregrine = make_system("peregrine", graph)
+
+    motif_table = Table(
+        "Figure 1a: k-motif counting on emaileucore (runtime)",
+        ["k", "decomine", "peregrine", "paper-shape"],
+    )
+    rows = []
+    for k in (3, 4, 5):
+        ours = measure_cell(lambda k=k: count_motifs(decomine, k), TIMEOUT)
+        theirs = measure_cell(lambda k=k: count_motifs(peregrine, k), TIMEOUT)
+        motif_table.add_row(k, ours, theirs,
+                            "gap grows superlinearly with k")
+        rows.append((k, ours, theirs))
+    motif_table.add_note(
+        "paper Fig 1: Peregrine k-motif runtime grows ~100x per +1 size; "
+        "decomposition grows far slower"
+    )
+
+    cycle_table = Table(
+        "Figure 1b: k-cycle counting on emaileucore (runtime)",
+        ["k", "decomine", "peregrine"],
+    )
+    for k in (3, 4, 5, 6, 7):
+        ours = measure_cell(lambda k=k: count_cycles(decomine, k), TIMEOUT)
+        theirs = measure_cell(lambda k=k: count_cycles(peregrine, k), TIMEOUT)
+        cycle_table.add_row(k, ours, theirs)
+    cycle_table.add_note(f"T = exceeded {TIMEOUT:.0f}s (paper budget: 12h)")
+    return motif_table, cycle_table, rows
+
+
+def test_fig01_pattern_size(report, run_once):
+    motif_table, cycle_table, rows = run_once(run_experiment)
+    report(motif_table, cycle_table)
+    # Shape assertion: DecoMine must never lose at the largest size that
+    # both systems finished.
+    finished = [(k, a, b) for k, a, b in rows if a.ok and b.ok]
+    if finished:
+        k, ours, theirs = finished[-1]
+        assert ours.seconds <= theirs.seconds * 1.15, (
+            f"DecoMine slower than Peregrine at {k}-motif"
+        )

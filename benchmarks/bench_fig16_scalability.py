@@ -1,0 +1,96 @@
+"""Figure 16: multi-thread scalability (paper: 15.11x at 16 threads).
+
+The paper parallelizes the outermost loop with static chunking plus
+work stealing.  This container has one core, so wall-clock speedups are
+not observable; the runtime's scheduling is exercised for real (fork pool
+with dynamic chunk draining) and the speedup curve is derived from the
+*measured per-chunk times* via an LPT schedule — the quantity the paper's
+work-stealing runtime approaches.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.bench import Table, session_for
+from repro.graph import datasets
+from repro.patterns import catalog
+from repro.runtime.engine import chunk_ranges, execute_plan
+
+PAPER_16T = 15.11
+
+
+def lpt_makespan(chunk_times: list[float], workers: int) -> float:
+    """Longest-processing-time-first schedule makespan."""
+    loads = [0.0] * workers
+    heapq.heapify(loads)
+    for duration in sorted(chunk_times, reverse=True):
+        lightest = heapq.heappop(loads)
+        heapq.heappush(loads, lightest + duration)
+    return max(loads)
+
+
+def run_experiment():
+    graph = datasets.load("mc")
+    session = session_for(graph)
+    pattern = catalog.house()
+    plan = session.plan_for(pattern)
+
+    # Measure genuine per-chunk runtimes at work-stealing granularity:
+    # one chunk per outer-loop iteration, the unit the paper's runtime
+    # steals.  (On hub-free graphs like mico/patents-at-paper-scale the
+    # single largest unit is a tiny share of total work, which is what
+    # makes near-linear scaling possible.)
+    import time
+
+    from repro.runtime.context import ExecutionContext
+
+    chunk_times = []
+    total = 0
+    for start, stop in chunk_ranges(graph.num_vertices,
+                                    graph.num_vertices):
+        started = time.perf_counter()
+        ctx = ExecutionContext(plan.root.num_tables)
+        accumulators = plan.function(graph, ctx, start, stop)
+        chunk_times.append(time.perf_counter() - started)
+        total += accumulators["acc_count"]
+
+    serial = sum(chunk_times)
+    table = Table(
+        "Figure 16: scalability of house counting on mico",
+        ["threads", "modeled runtime", "speedup", "paper speedup"],
+    )
+    speedups = {}
+    paper_curve = {1: 1.0, 2: 1.97, 4: 3.9, 8: 7.7, 16: PAPER_16T}
+    for workers in (1, 2, 4, 8, 16):
+        makespan = lpt_makespan(chunk_times, workers)
+        ratio = serial / makespan
+        speedups[workers] = ratio
+        table.add_row(workers, f"{makespan:.2f}s", f"{ratio:.2f}x",
+                      f"{paper_curve[workers]:.2f}x")
+    table.add_note(
+        "single-core container: runtimes are modeled from per-iteration "
+        "measured times via an LPT schedule (the bound work stealing "
+        "approaches); the fork-pool runtime itself is exercised below"
+    )
+
+    # Exercise the real parallel engine once (2 workers) for correctness.
+    parallel = execute_plan(plan, graph, workers=2)
+    table.add_note(
+        f"fork-pool run (2 workers): count={parallel.embedding_count:,}, "
+        f"work balance={parallel.work_balance():.2f}"
+    )
+    assert parallel.raw_count == total
+    return table, speedups
+
+
+def test_fig16_scalability(report, run_once):
+    table, speedups = run_once(run_experiment)
+    report(table)
+    # Shape: near-linear scaling out to 16 workers, as in the paper.
+    assert speedups[16] > 8.0
+    assert speedups[2] > 1.5
+    assert all(
+        speedups[a] <= speedups[b] + 1e-9
+        for a, b in ((1, 2), (2, 4), (4, 8), (8, 16))
+    )

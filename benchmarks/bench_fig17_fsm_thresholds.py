@@ -1,0 +1,63 @@
+"""Figure 17: FSM sensitivity to the support threshold (MiCo).
+
+Paper shape: DecoMine is consistently at least as fast as AutoMine; the
+speedup is small at both extremes (huge thresholds filter everything,
+tiny thresholds are dominated by per-pattern overheads) and peaks in the
+middle (~70x at support 10K in the paper).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.apps import frequent_subgraph_mining
+from repro.bench import Table, make_system, measure_cell
+from repro.graph import datasets
+
+TIMEOUT = 90.0
+
+#: Paper sweep: 100..30K on the full MiCo; scaled to the analogue.
+SUPPORTS = (4, 8, 15, 25, 40, 80)
+
+
+def run_experiment():
+    graph = datasets.load("mc")
+    decomine = make_system("decomine", graph)
+    automine = make_system("automine", graph)
+    table = Table(
+        "Figure 17: FSM runtime vs support threshold on mico",
+        ["support", "decomine", "automine", "speedup", "#frequent"],
+    )
+    curve = []
+    for support in SUPPORTS:
+        ours = measure_cell(
+            functools.partial(frequent_subgraph_mining, decomine, graph,
+                              support),
+            TIMEOUT,
+        )
+        theirs = measure_cell(
+            functools.partial(frequent_subgraph_mining, automine, graph,
+                              support),
+            TIMEOUT,
+        )
+        ratio = (
+            theirs.seconds / ours.seconds if ours.ok and theirs.ok else None
+        )
+        frequent = ours.value.num_frequent if ours.ok else "-"
+        curve.append((support, ratio))
+        table.add_row(support, ours, theirs,
+                      f"{ratio:.2f}x" if ratio else "-", frequent)
+    table.add_note(
+        "paper: speedup peaks mid-range (~70x at 10K) and collapses at "
+        "both extremes"
+    )
+    return table, curve
+
+
+def test_fig17_fsm_thresholds(report, run_once):
+    table, curve = run_once(run_experiment)
+    report(table)
+    ratios = [r for _s, r in curve if r is not None]
+    assert ratios, "at least some thresholds must complete on both systems"
+    # Shape: DecoMine never loses badly anywhere in the sweep.
+    assert min(ratios) > 0.6

@@ -1,0 +1,132 @@
+"""Table 3: DecoMine vs AutoMineInHouse / RStream / Arabesque.
+
+The paper's headline grid: motif counting (3-6-MC), pseudo-clique
+counting (7/8-PC) and FSM across graphs, with "T" (timeout) and "C"
+(crashed out of memory) entries for the weaker systems.  Reproduced on
+the analogue graphs with proportionally scaled budgets: the per-cell
+timeout stands in for the paper's 12-hour budget, and the
+enumerate-everything systems carry stored-embedding budgets whose
+exhaustion reproduces the paper's crashes.
+
+Expected shape: DecoMine wins everywhere; RStream/Arabesque lose by
+orders of magnitude and die (T/C) as soon as pattern size grows; the
+AutoMine gap widens with pattern size.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.apps import (
+    count_motifs,
+    count_pseudo_cliques,
+    frequent_subgraph_mining,
+)
+from repro.bench import (
+    Table,
+    make_system,
+    measure_cell,
+    speedup,
+)
+from repro.bench.workloads import is_cached_system
+from repro.graph import datasets
+
+TIMEOUT = 60.0
+
+#: Paper Table 3 rows for the cells reproduced here (DecoMine column).
+PAPER = {
+    ("3-MC", "cs"): "0.14ms", ("3-MC", "ee"): "0.87ms",
+    ("3-MC", "wk"): "7ms", ("3-MC", "mc"): "48ms",
+    ("4-MC", "cs"): "0.17ms", ("4-MC", "ee"): "9ms",
+    ("4-MC", "wk"): "60ms", ("4-MC", "mc"): "1.3s",
+    ("5-MC", "cs"): "2.1ms", ("5-MC", "ee"): "416ms",
+    ("6-MC", "cs"): "270ms",
+    ("7-PC", "cs"): "0.3ms", ("7-PC", "ee"): "719ms",
+    ("8-PC", "cs"): "0.3ms", ("8-PC", "ee"): "1.3s",
+    ("FSM-low", "cs"): "2.6ms", ("FSM-low", "mc"): "210.8s",
+    ("FSM-high", "cs"): "0.3ms", ("FSM-high", "mc"): "513ms",
+}
+
+
+def workload(app: str, graph):
+    """Build the callable for one (app, graph) cell, per system."""
+    if app.endswith("-MC"):
+        k = int(app[0])
+        return lambda system: count_motifs(system, k)
+    if app.endswith("-PC"):
+        k = int(app[0])
+        return lambda system: count_pseudo_cliques(system, k)
+    # FSM thresholds scale with graph size (paper: 300 / 3000).
+    support = {"FSM-low": 10, "FSM-high": 40}[app]
+    return lambda system: frequent_subgraph_mining(system, graph, support)
+
+
+CELLS = [
+    ("3-MC", ("cs", "ee", "wk", "mc")),
+    ("4-MC", ("cs", "ee", "wk", "mc")),
+    ("5-MC", ("cs", "ee")),
+    ("6-MC", ("cs",)),
+    ("7-PC", ("cs", "ee")),
+    ("8-PC", ("cs", "ee")),
+    ("FSM-low", ("cs", "mc")),
+    ("FSM-high", ("cs", "mc")),
+]
+
+SYSTEMS = ("decomine", "automine", "rstream", "arabesque")
+
+
+def run_experiment():
+    table = Table(
+        "Table 3: overall comparison (T=timeout, C=crashed/budget)",
+        ["app", "graph", "decomine", "automine", "rstream", "arabesque",
+         "speedup(am)", "paper decomine"],
+    )
+    results = {}
+    for app, graphs in CELLS:
+        for name in graphs:
+            graph = datasets.load(name)
+            if app.startswith("FSM") and not graph.is_labeled:
+                continue
+            cells = {}
+            fn = workload(app, graph)
+            for system_name in SYSTEMS:
+                system = make_system(system_name, graph)
+                if app.startswith("FSM") and system_name == "arabesque":
+                    # Arabesque FSM reuses its (budgeted) edge BFS.
+                    pass
+                cells[system_name] = measure_cell(
+                    functools.partial(fn, system), TIMEOUT,
+                    warm=is_cached_system(system_name),
+                )
+            results[(app, name)] = cells
+            table.add_row(
+                app, name,
+                cells["decomine"], cells["automine"],
+                cells["rstream"], cells["arabesque"],
+                speedup(cells["automine"], cells["decomine"]),
+                PAPER.get((app, name), "-"),
+            )
+    table.add_note(f"per-cell budget {TIMEOUT:.0f}s (paper: 12h)")
+    return table, results
+
+
+def test_tab03_overall(report, run_once):
+    table, results = run_once(run_experiment)
+    report(table)
+    for (app, name), cells in results.items():
+        ours = cells["decomine"]
+        assert ours.ok, f"DecoMine must finish every cell ({app}/{name})"
+        # DecoMine never loses materially to AutoMine (cost-model floor);
+        # sub-second cells are fixed-overhead noise, so the bound applies
+        # to non-trivial cells and a loose guard covers the rest.
+        am = cells["automine"]
+        if am.ok:
+            slack = 1.5 if am.seconds >= 0.5 else 4.0
+            assert ours.seconds <= am.seconds * slack + 0.2, (app, name)
+    # The enumerate-everything systems must die somewhere (T or C),
+    # reproducing the paper's table texture.
+    statuses = {
+        cells[system].status
+        for cells in results.values() for system in ("rstream", "arabesque")
+    }
+    assert statuses & {"timeout", "crashed"}

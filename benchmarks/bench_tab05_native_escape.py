@@ -1,0 +1,76 @@
+"""Table 5: DecoMine vs GraphPi vs ESCAPE (the native algorithm).
+
+Single-threaded 4/5-motif counting against the expert-tailored
+decomposition counter.  The paper's shape: ESCAPE beats single-thread
+DecoMine by ~4x (pattern-specific DAG tricks), DecoMine beats GraphPi by
+a larger margin; with multiple cores DecoMine overtakes ESCAPE.
+
+Here ESCAPE's 3/4-vertex censuses are closed-form array arithmetic, so it
+wins 4-MC decisively; DecoMine must in turn beat GraphPi.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.apps import count_motifs
+from repro.bench import Table, make_system, measure_cell
+from repro.graph import datasets
+
+TIMEOUT = 120.0
+
+PAPER = {
+    ("4-MC", "ee"): "9ms/95ms vs 397ms vs 32ms",
+    ("4-MC", "wk"): "60ms/879ms vs 5.8s vs 312ms",
+    ("4-MC", "pt"): "1.5s/19.9s vs 62.4s vs 10.3s",
+    ("5-MC", "ee"): "416ms/5.4s vs 26.5s vs 889ms",
+}
+
+CELLS = [(4, ("ee", "wk", "pt")), (5, ("ee",))]
+
+
+def run_experiment():
+    table = Table(
+        "Table 5: single-thread DecoMine vs GraphPi(count) vs ESCAPE",
+        ["app", "graph", "decomine", "graphpi(count)", "escape",
+         "paper (16c/1c vs 1c vs 1c)"],
+    )
+    results = {}
+    for k, graphs in CELLS:
+        for name in graphs:
+            graph = datasets.load(name)
+            cells = {
+                system: measure_cell(
+                    functools.partial(
+                        count_motifs, make_system(system, graph), k
+                    ),
+                    TIMEOUT,
+                )
+                for system in ("decomine", "graphpi(count)", "escape")
+            }
+            results[(k, name)] = cells
+            table.add_row(f"{k}-MC", name, cells["decomine"],
+                          cells["graphpi(count)"], cells["escape"],
+                          PAPER.get((f"{k}-MC", name), "-"))
+    table.add_note(
+        "ESCAPE's 3/4-vertex counts are closed-form formulas; its "
+        "5-vertex tier uses pinned decompositions (DESIGN.md §1)"
+    )
+    return table, results
+
+
+def test_tab05_native_escape(report, run_once):
+    table, results = run_once(run_experiment)
+    report(table)
+    for (k, name), cells in results.items():
+        assert cells["decomine"].ok
+        # The native algorithm's closed forms win 4-MC (paper shape:
+        # ESCAPE faster than 1-thread DecoMine).
+        if k == 4 and cells["escape"].ok:
+            assert cells["escape"].seconds < cells["decomine"].seconds, name
+        # DecoMine beats GraphPi (the paper's 17.3x average gap).
+        if cells["graphpi(count)"].ok:
+            baseline = cells["graphpi(count)"].seconds
+            slack = 1.5 if baseline >= 0.5 else 4.0
+            assert cells["decomine"].seconds <= baseline * slack + 0.2, \
+                (k, name)

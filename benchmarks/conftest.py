@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at
+reproduction scale (see DESIGN.md section 4 for the full index), prints a
+paper-vs-measured table, and saves it under ``benchmarks/reports/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers are not expected to match the paper (the substrate is a
+pure-Python engine on scaled synthetic graphs); the *shapes* — who wins,
+how gaps grow, where crossovers fall — are the reproduction target and
+are asserted where statistically safe.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.reporting import Table
+
+REPORTS = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report(request):
+    """Save + print an experiment's table(s)."""
+    REPORTS.mkdir(exist_ok=True)
+
+    def save(*tables: Table) -> None:
+        text = "\n\n".join(table.render() for table in tables)
+        (REPORTS / f"{request.node.name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are end-to-end multi-system sweeps; statistical
+    repetition happens inside them (multiple cells), not across rounds.
+    """
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Clique structure analysis: the specialist vs the general system.
+
+Cliques are the one pattern family decomposition cannot help (no cutting
+set exists), so the paper leans on the fact that specialized clique
+algorithms are fast anyway.  This example runs both: the degeneracy-
+oriented specialist and DecoMine's compiled plans, cross-checking counts
+and comparing runtimes.
+
+Run:  python examples/clique_analysis.py
+"""
+
+import time
+
+from repro import DecoMine, catalog
+from repro.apps import clique_census, count_cliques, degeneracy_order
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph = datasets.load("emaileucore")
+    print(f"graph: {graph}")
+    order = degeneracy_order(graph)
+    from repro.apps.cliques import _out_neighbors
+
+    degeneracy = max(len(x) for x in _out_neighbors(graph, order))
+    print(f"degeneracy: {degeneracy} "
+          f"(bounds every clique search's branching)\n")
+
+    started = time.perf_counter()
+    census = clique_census(graph, 6)
+    specialist = time.perf_counter() - started
+    print(f"clique census (specialist, {specialist * 1e3:.0f} ms):")
+    for k, value in census.items():
+        print(f"  {k}-cliques: {value:,}")
+
+    session = DecoMine(graph)
+    print("\ncross-check against compiled plans:")
+    for k in (3, 4, 5):
+        started = time.perf_counter()
+        compiled = session.get_pattern_count(catalog.clique(k))
+        elapsed = time.perf_counter() - started
+        status = "OK" if compiled == census[k] else "MISMATCH"
+        print(f"  {k}-clique: {compiled:,} ({elapsed * 1e3:.0f} ms) {status}")
+        assert compiled == census[k]
+
+    print("\nnote: the compiler falls back to direct symmetry-broken plans "
+          "for cliques (no cutting set exists — paper section 3.1); the "
+          "degeneracy specialist shows why that is acceptable.")
+
+
+if __name__ == "__main__":
+    main()

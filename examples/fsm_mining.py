@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Frequent subgraph mining through the partial-embedding API.
+
+Mines frequent labeled patterns (MNI support, the paper's Figure 7) on
+the MiCo dataset analogue — the exact application the paper uses to
+motivate the partial-embedding API: domains are assembled from partial
+embeddings, never from whole materialized embeddings.
+
+Run:  python examples/fsm_mining.py
+"""
+
+from repro.apps import DecoMineMiner, frequent_subgraph_mining
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph = datasets.load("mico")
+    print(f"graph: {graph}")
+    miner = DecoMineMiner.for_graph(graph)
+
+    for support in (60, 30, 15):
+        result = frequent_subgraph_mining(miner, graph, min_support=support)
+        print(
+            f"\nsupport >= {support}: {result.num_frequent} frequent "
+            f"patterns ({result.candidates_examined} candidates examined)"
+        )
+        for edges in (1, 2, 3):
+            level = result.patterns_with_edges(edges)
+            if not level:
+                continue
+            print(f"  {edges}-edge patterns: {len(level)}")
+            for item in sorted(level, key=lambda f: -f.support)[:4]:
+                p = item.pattern
+                print(
+                    f"    labels={list(p.labels)} edges={p.edges()} "
+                    f"support={item.support}"
+                )
+
+    # Lower thresholds admit more patterns, with the cost dominated by the
+    # domain computations — which DecoMine serves via partial embeddings.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Motif census: the paper's k-MC workload as a network-analysis tool.
+
+Counts all connected vertex-induced patterns of sizes 3-5 on two dataset
+analogues and prints their motif profiles side by side — the kind of
+"graphlet signature" comparison the GPM literature motivates (biological
+network comparison, social network classification).
+
+Run:  python examples/motif_census.py
+"""
+
+from repro.apps import DecoMineMiner, count_motifs, total_motif_embeddings
+from repro.graph import datasets
+
+
+def census_profile(name: str, k: int) -> dict:
+    graph = datasets.load(name)
+    miner = DecoMineMiner.for_graph(graph)
+    return count_motifs(miner, k)
+
+
+def main() -> None:
+    names = ("citeseer", "emaileucore")
+    for k in (3, 4):
+        print(f"\n=== size-{k} motif census ===")
+        profiles = {name: census_profile(name, k) for name in names}
+        patterns = list(next(iter(profiles.values())))
+        header = f"{'pattern':>12} " + " ".join(f"{n:>14}" for n in names)
+        print(header)
+        for pattern in patterns:
+            row = f"{pattern.name:>12} "
+            for name in names:
+                total = total_motif_embeddings(profiles[name])
+                value = profiles[name][pattern]
+                share = 100.0 * value / total if total else 0.0
+                row += f" {value:>8,} {share:4.1f}%"
+            print(row)
+        for name in names:
+            print(f"  total({name}) = {total_motif_embeddings(profiles[name]):,}")
+
+    # The e-mail graph is far more clustered than the citation graph:
+    # its triangle share dominates, the classic motif-profile signature.
+
+
+if __name__ == "__main__":
+    main()

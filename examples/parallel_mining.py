@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Parallel mining: the section 7.4 runtime exercised end to end.
+
+Counts a pattern serially and with a fork-based worker pool, verifying
+identical counts and reporting the measured work balance.  On a multicore
+host the wall-clock follows the paper's near-linear curve; on a single
+core (like the reproduction container) the interesting output is the
+per-chunk balance that work stealing exploits.
+
+Run:  python examples/parallel_mining.py
+"""
+
+from repro import catalog
+from repro.bench import session_for
+from repro.graph import datasets
+from repro.runtime.engine import execute_plan
+
+
+def main() -> None:
+    graph = datasets.load("patents")
+    session = session_for(graph)
+    pattern = catalog.house()
+    plan = session.plan_for(pattern)
+    print(f"graph: {graph}")
+    print(f"plan:  {plan.describe()}\n")
+
+    serial = execute_plan(plan, graph, workers=1)
+    print(f"serial:    count={serial.embedding_count:,} "
+          f"in {serial.seconds:.2f}s")
+
+    for workers in (2, 4):
+        parallel = execute_plan(plan, graph, workers=workers,
+                                chunks_per_worker=8)
+        assert parallel.raw_count == serial.raw_count
+        print(f"{workers} workers: count={parallel.embedding_count:,} "
+              f"in {parallel.seconds:.2f}s "
+              f"(chunks={len(parallel.chunk_seconds)}, "
+              f"balance={parallel.work_balance():.2f})")
+
+    print("\ncounts agree across all configurations; accumulator updates "
+          "are associative and commutative (paper section 7.1), so chunk "
+          "merge order never matters")
+
+
+if __name__ == "__main__":
+    main()

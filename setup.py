@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work in
+offline environments whose setuptools lacks PEP-660 editable wheel support.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

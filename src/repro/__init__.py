@@ -1,0 +1,35 @@
+"""DecoMine reproduction: compilation-based graph pattern mining with
+pattern decomposition.
+
+Quickstart::
+
+    from repro import DecoMine, catalog
+    from repro.graph import datasets
+
+    graph = datasets.load("wikivote")
+    session = DecoMine(graph)
+    print(session.get_pattern_count(catalog.house()))
+    print(session.explain(catalog.house()))
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from the paper's sections to modules.
+"""
+
+from repro.api.session import DecoMine
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+from repro.runtime.partial_embedding import PartialEmbedding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecoMine",
+    "CSRGraph",
+    "GraphBuilder",
+    "Pattern",
+    "PartialEmbedding",
+    "catalog",
+    "__version__",
+]

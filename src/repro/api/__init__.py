@@ -1,0 +1,6 @@
+"""Public API: the DecoMine session and constraint helpers."""
+
+from repro.api.constraints import label_is, labels_distinct, labels_equal
+from repro.api.session import DecoMine
+
+__all__ = ["DecoMine", "labels_equal", "labels_distinct", "label_is"]

@@ -1,0 +1,53 @@
+"""Convenience label-constraint builders (paper section 7.5).
+
+The evaluation's section 8.6 query — "vertices matching A, B, C must have
+different labels and vertices matching B, D, E must have the same label" —
+is expressed as::
+
+    session.count_with_constraints(pattern, [
+        labels_distinct(graph, (0, 1, 2)),
+        labels_equal(graph, (1, 3, 4)),
+    ])
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["labels_equal", "labels_distinct", "label_is"]
+
+ConstraintEntry = tuple[Callable, tuple[int, ...]]
+
+
+def labels_equal(graph: CSRGraph, vertices: tuple[int, ...]) -> ConstraintEntry:
+    """All named pattern vertices must map to vertices of one label."""
+    labels = graph.labels
+
+    def predicate(*matched: int) -> bool:
+        first = labels[matched[0]]
+        return all(labels[m] == first for m in matched[1:])
+
+    return predicate, tuple(vertices)
+
+
+def labels_distinct(graph: CSRGraph, vertices: tuple[int, ...]) -> ConstraintEntry:
+    """All named pattern vertices must map to pairwise distinct labels."""
+    labels = graph.labels
+
+    def predicate(*matched: int) -> bool:
+        seen = {int(labels[m]) for m in matched}
+        return len(seen) == len(matched)
+
+    return predicate, tuple(vertices)
+
+
+def label_is(graph: CSRGraph, vertex: int, label: int) -> ConstraintEntry:
+    """One pattern vertex must map to a vertex carrying ``label``."""
+    labels = graph.labels
+
+    def predicate(matched: int) -> bool:
+        return int(labels[matched]) == label
+
+    return predicate, (vertex,)

@@ -1,0 +1,279 @@
+"""The DecoMine session: the paper's user-facing API (Figure 8a).
+
+Three calls make up the public surface:
+
+* ``get_pattern_count(pattern)`` — embedding count, edge- or
+  vertex-induced.
+* ``mine(pattern, process_partial_embedding)`` — stream partial
+  embeddings (with their whole-embedding counts) to a UDF, guaranteeing
+  the **completeness** and **coverage** properties of section 4.2.
+* ``materialize(pe, num)`` — expand a partial embedding into up to
+  ``num`` whole embeddings.
+
+plus label constraints (section 7.5) via ``count_with_constraints``.
+
+The session owns the graph profile, the cost model, and a plan cache; all
+algorithm selection (cutting sets, matching orders, PLR, decomposition
+versus direct fallback) is the compiler's responsibility — users never see
+it, which is the paper's central usability claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.compiler.pipeline import CompiledPlan, compile_pattern
+from repro.compiler.search import SearchOptions
+from repro.compiler.specs import Constraint, DecompSpec, DirectSpec
+from repro.costmodel import CostModel, CostProfile, get_model, profile_graph
+from repro.exceptions import PatternError
+from repro.graph.csr import CSRGraph
+from repro.patterns.conversion import edge_induced_requirements
+from repro.patterns.isomorphism import automorphisms, canonical_code
+from repro.patterns.pattern import Pattern
+from repro.runtime.context import ExecutionContext
+from repro.runtime.engine import ExecutionResult, execute_plan
+from repro.runtime.partial_embedding import PartialEmbedding, materialize
+
+__all__ = ["DecoMine"]
+
+ProcessPartialEmbedding = Callable[[PartialEmbedding], None]
+
+
+class DecoMine:
+    """A mining session bound to one input graph.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graph.csr.CSRGraph`.
+    cost_model:
+        ``"approx_mining"`` (default), ``"locality"``, ``"automine"``, or
+        a :class:`~repro.costmodel.CostModel` instance.
+    workers:
+        Parallel workers for counting executions (1 = serial).
+    search_options:
+        Caps/toggles for the compiler's algorithm search.
+    profile:
+        Pre-computed :class:`~repro.costmodel.CostProfile`; profiled on
+        first use otherwise ("amortized with multiple applications", §8.2).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        cost_model: CostModel | str = "approx_mining",
+        workers: int = 1,
+        search_options: SearchOptions | None = None,
+        profile: CostProfile | None = None,
+        executor: str = "codegen",
+        profile_seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.model = (
+            get_model(cost_model) if isinstance(cost_model, str) else cost_model
+        )
+        self.workers = workers
+        self.options = search_options or SearchOptions()
+        self.executor = executor
+        self._profile = profile
+        self._profile_seed = profile_seed
+        self._plan_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> CostProfile:
+        """The graph profile, computed lazily on first use."""
+        if self._profile is None:
+            self._profile = profile_graph(self.graph, seed=self._profile_seed)
+        return self._profile
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    def plan_for(
+        self,
+        pattern: Pattern,
+        mode: str = "count",
+        induced: bool = False,
+        constraints: tuple[Constraint, ...] = (),
+    ) -> CompiledPlan:
+        """Compile (or fetch from cache) the best plan for a pattern."""
+        if mode == "count" and not constraints:
+            key = (canonical_code(pattern), mode, induced)
+        else:
+            key = (pattern, mode, induced, constraints)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = compile_pattern(
+                pattern,
+                self.profile,
+                self.model,
+                mode=mode,
+                induced=induced,
+                constraints=constraints,
+                options=self.options,
+            )
+            self._plan_cache[key] = plan
+        return plan
+
+    def explain(self, pattern: Pattern, induced: bool = False) -> str:
+        """Human-readable description of the plan the compiler selected."""
+        return self.plan_for(pattern, induced=induced).describe()
+
+    # ------------------------------------------------------------------
+    # get_pattern_count
+    # ------------------------------------------------------------------
+    def get_pattern_count(self, pattern: Pattern, induced: bool = False) -> int:
+        """Number of embeddings of ``pattern`` in the graph.
+
+        ``induced=False`` counts edge-induced embeddings (the GPM default
+        and the semantics pattern decomposition assumes); ``induced=True``
+        counts vertex-induced embeddings, computed either directly or by
+        converting edge-induced counts of denser patterns — whichever the
+        cost model predicts is cheaper (paper section 2.2).
+        """
+        self._check(pattern)
+        if pattern.n == 1:
+            if pattern.is_labeled:
+                return int(
+                    self.graph.vertices_with_label(pattern.labels[0]).size
+                )
+            return self.graph.num_vertices
+        if not induced:
+            return self._execute_count(self.plan_for(pattern))
+        return self._vertex_induced_count(pattern)
+
+    def _vertex_induced_count(self, pattern: Pattern) -> int:
+        if pattern.is_clique and not pattern.is_labeled:
+            # A clique's vertex- and edge-induced counts coincide.
+            return self._execute_count(self.plan_for(pattern))
+        direct_plan = self.plan_for(pattern, induced=True)
+        missing_edges = pattern.n * (pattern.n - 1) // 2 - pattern.num_edges
+        if pattern.is_labeled or not (pattern.n <= 5 or missing_edges <= 3):
+            # Conversion operates on unlabeled patterns, and its host
+            # closure (all same-vertex supergraphs) explodes for large
+            # sparse patterns — 2^missing_edges in the worst case.  The
+            # direct vertex-induced plan is the paper's option (1).
+            return self._execute_count(direct_plan)
+        requirements = edge_induced_requirements(pattern)
+        host_plans = [self.plan_for(host) for host, _ in requirements]
+        indirect_cost = sum(plan.cost for plan in host_plans)
+        if direct_plan.cost <= indirect_cost:
+            return self._execute_count(direct_plan)
+        total = 0
+        for (host, coefficient), plan in zip(requirements, host_plans):
+            total += coefficient * self._execute_count(plan)
+        return total
+
+    def _execute_count(self, plan: CompiledPlan) -> int:
+        result = self._execute(plan)
+        return result.embedding_count
+
+    def _execute(
+        self, plan: CompiledPlan, ctx: ExecutionContext | None = None
+    ) -> ExecutionResult:
+        workers = self.workers if plan.mode == "count" else 1
+        return execute_plan(
+            plan, self.graph, ctx=ctx, workers=workers, executor=self.executor
+        )
+
+    # ------------------------------------------------------------------
+    # mine / process_partial_embedding
+    # ------------------------------------------------------------------
+    def mine(
+        self,
+        pattern: Pattern,
+        process_partial_embedding: ProcessPartialEmbedding,
+    ) -> int:
+        """Stream partial embeddings of ``pattern`` to a UDF.
+
+        Guarantees (section 4.2): **completeness** — every partial
+        embedding of a delivered subpattern is delivered; **coverage** —
+        the subpatterns jointly cover every pattern vertex.  For direct
+        (non-decomposed) plans each whole embedding is delivered once per
+        pattern automorphism, preserving completeness.
+
+        Returns the whole-pattern embedding count as a convenience.
+        """
+        self._check(pattern)
+        plan = self.plan_for(pattern, mode="emit")
+        emitter = self._make_emitter(plan, process_partial_embedding)
+        ctx = ExecutionContext(plan.root.num_tables, emit=emitter)
+        result = self._execute(plan, ctx)
+        return result.embedding_count
+
+    def _make_emitter(self, plan: CompiledPlan, udf: ProcessPartialEmbedding):
+        pattern = plan.pattern
+        layouts = plan.info.emit_layouts
+        if plan.info.expand_automorphisms:
+            auts = automorphisms(pattern)
+
+            def emit(index: int, vertices: tuple[int, ...], count: int) -> None:
+                base = dict(zip(layouts[index], vertices))
+                for sigma in auts:
+                    mapped = tuple(
+                        base[sigma[v]] for v in layouts[index]
+                    )
+                    udf(PartialEmbedding(
+                        pattern, index, layouts[index], mapped, count,
+                    ))
+
+            return emit
+
+        def emit(index: int, vertices: tuple[int, ...], count: int) -> None:
+            udf(PartialEmbedding(pattern, index, layouts[index], vertices, count))
+
+        return emit
+
+    # ------------------------------------------------------------------
+    # materialize
+    # ------------------------------------------------------------------
+    def materialize(self, pe: PartialEmbedding, num: int | None = None):
+        """Expand a partial embedding into up to ``num`` whole embeddings.
+
+        Yields complete ``pattern vertex -> graph vertex`` mappings.
+        """
+        return materialize(self.graph, pe, num)
+
+    # ------------------------------------------------------------------
+    # Label constraints (section 7.5)
+    # ------------------------------------------------------------------
+    def count_with_constraints(
+        self,
+        pattern: Pattern,
+        constraints: Sequence[tuple[Callable, tuple[int, ...]]],
+    ) -> int:
+        """Count matches satisfying ``F(e) = F1(e1) ∧ ... ∧ Fk(ek)``.
+
+        Each entry is ``(predicate, pattern_vertices)``; the predicate
+        receives the graph vertices matched to those pattern vertices.
+        The compiler picks a cutting set whose subpatterns can resolve
+        every fragment on partially-materialized embeddings, falling back
+        to a direct plan when none exists.
+
+        Returns the number of constraint-satisfying *matches* (injective
+        homomorphisms): constraints distinguish pattern vertices, so they
+        are generally not automorphism-invariant and the embedding-level
+        multiplicity division does not apply.
+        """
+        self._check(pattern)
+        specs = tuple(
+            Constraint(pred=index, vertices=tuple(vertices))
+            for index, (_, vertices) in enumerate(constraints)
+        )
+        predicates = [predicate for predicate, _ in constraints]
+        plan = self.plan_for(pattern, constraints=specs)
+        ctx = ExecutionContext(plan.root.num_tables, predicates=predicates)
+        result = execute_plan(plan, self.graph, ctx=ctx, workers=1,
+                              executor=self.executor)
+        return result.raw_count
+
+    # ------------------------------------------------------------------
+    def _check(self, pattern: Pattern) -> None:
+        if not pattern.is_connected:
+            raise PatternError("patterns must be connected")
+        if pattern.is_labeled and not self.graph.is_labeled:
+            raise PatternError("labeled pattern requires a labeled graph")

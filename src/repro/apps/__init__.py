@@ -1,0 +1,31 @@
+"""Applications: motifs, FSM, pseudo-cliques, cycles, cliques, queries."""
+
+from repro.apps.cliques import clique_census, count_cliques, degeneracy_order
+from repro.apps.cycle_mining import count_cycles
+from repro.apps.fsm import FSMResult, FrequentPattern, frequent_subgraph_mining
+from repro.apps.interface import DecoMineMiner, Miner
+from repro.apps.motif_counting import count_motifs, total_motif_embeddings
+from repro.apps.pseudo_clique import count_pseudo_cliques
+from repro.apps.queries import (
+    constrained_pattern_count,
+    section86_query,
+    star_center_labels,
+)
+
+__all__ = [
+    "clique_census",
+    "count_cliques",
+    "degeneracy_order",
+    "count_cycles",
+    "FSMResult",
+    "FrequentPattern",
+    "frequent_subgraph_mining",
+    "DecoMineMiner",
+    "Miner",
+    "count_motifs",
+    "total_motif_embeddings",
+    "count_pseudo_cliques",
+    "constrained_pattern_count",
+    "section86_query",
+    "star_center_labels",
+]

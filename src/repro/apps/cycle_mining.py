@@ -1,0 +1,20 @@
+"""k-cycle mining (the paper's Table 7 large-pattern workload).
+
+Counts the size-``k`` cycles of the input graph (edge-induced subgraph
+count — a cycle subgraph is a cycle regardless of chords).  Cycles are the
+showcase for pattern decomposition on large patterns: a 2-vertex cutting
+set splits a k-cycle into two paths, replacing O(n^k)-flavoured
+enumeration with two path extensions joined at the cut.
+"""
+
+from __future__ import annotations
+
+from repro.apps.interface import Miner
+from repro.patterns.catalog import cycle
+
+__all__ = ["count_cycles"]
+
+
+def count_cycles(miner: Miner, k: int) -> int:
+    """Number of k-cycle subgraphs."""
+    return miner.count(cycle(k), induced=False)

@@ -1,0 +1,74 @@
+"""Miner interface shared by DecoMine and the baseline systems.
+
+The applications in this package (motif counting, FSM, pseudo-clique
+mining, cycle mining) are written against a minimal duck-typed surface so
+the benchmark harness can run every app on every system:
+
+``count(pattern, induced=False) -> int``
+    Embedding count.
+``domains(pattern) -> dict[pattern_vertex, set[graph_vertex]]``
+    FSM vertex domains.
+``motif_census(k) -> dict[Pattern, int]`` (optional)
+    Vertex-induced census of all connected size-k patterns, for systems
+    with a cheaper batched strategy than per-pattern counting.
+
+:class:`DecoMineMiner` adapts the public session; baselines implement the
+protocol directly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.api.session import DecoMine
+from repro.patterns.conversion import vertex_induced_from_edge_induced
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.pattern import Pattern
+
+__all__ = ["Miner", "DecoMineMiner"]
+
+
+@runtime_checkable
+class Miner(Protocol):
+    name: str
+
+    def count(self, pattern: Pattern, induced: bool = False) -> int: ...
+
+    def domains(self, pattern: Pattern) -> dict[int, set[int]]: ...
+
+
+class DecoMineMiner:
+    """Adapter exposing a :class:`DecoMine` session as a ``Miner``."""
+
+    name = "decomine"
+
+    def __init__(self, session: DecoMine) -> None:
+        self.session = session
+
+    @classmethod
+    def for_graph(cls, graph, **kwargs) -> "DecoMineMiner":
+        return cls(DecoMine(graph, **kwargs))
+
+    def count(self, pattern: Pattern, induced: bool = False) -> int:
+        return self.session.get_pattern_count(pattern, induced=induced)
+
+    def domains(self, pattern: Pattern) -> dict[int, set[int]]:
+        collected: dict[int, set[int]] = {v: set() for v in range(pattern.n)}
+
+        def udf(pe) -> None:
+            if pe.count > 0:
+                for vertex, graph_vertex in pe.mapping.items():
+                    collected[vertex].add(graph_vertex)
+
+        self.session.mine(pattern, udf)
+        return collected
+
+    def motif_census(self, k: int) -> dict[Pattern, int]:
+        """Vertex-induced census via the decomposition-friendly route:
+        edge-induced counts of every size-k pattern, converted at the end
+        (this is how ESCAPE-style counting stays cheap)."""
+        edge_induced = {
+            pattern: self.session.get_pattern_count(pattern)
+            for pattern in all_connected_patterns(k)
+        }
+        return vertex_induced_from_edge_induced(k, edge_induced)

@@ -1,0 +1,31 @@
+"""Motif Counting (the paper's k-MC workload, section 8.1).
+
+Counts all connected *vertex-induced* patterns with ``k`` vertices.
+Systems with a batched census strategy (``motif_census``) use it; others
+count each of the ``all_connected_patterns(k)`` individually with
+vertex-induced semantics.
+"""
+
+from __future__ import annotations
+
+from repro.apps.interface import Miner
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.pattern import Pattern
+
+__all__ = ["count_motifs", "total_motif_embeddings"]
+
+
+def count_motifs(miner: Miner, k: int) -> dict[Pattern, int]:
+    """Vertex-induced census of all connected size-``k`` patterns."""
+    census = getattr(miner, "motif_census", None)
+    if census is not None:
+        return census(k)
+    return {
+        pattern: miner.count(pattern, induced=True)
+        for pattern in all_connected_patterns(k)
+    }
+
+
+def total_motif_embeddings(census: dict[Pattern, int]) -> int:
+    """Total embeddings across the census (a cross-system checksum)."""
+    return sum(census.values())

@@ -1,0 +1,23 @@
+"""Pseudo-Clique Mining (the paper's k-PC workload, section 8.1).
+
+A size-``n`` pattern is a pseudo clique when it has at least
+``n(n-1)/2 - k_missing`` edges; the paper evaluates ``k_missing = 1``, so
+the pattern set is the clique plus the clique-minus-one-edge, counted
+vertex-induced.
+"""
+
+from __future__ import annotations
+
+from repro.apps.interface import Miner
+from repro.patterns.catalog import pseudo_clique_patterns
+from repro.patterns.pattern import Pattern
+
+__all__ = ["count_pseudo_cliques"]
+
+
+def count_pseudo_cliques(miner: Miner, k: int) -> dict[Pattern, int]:
+    """Vertex-induced counts of the k-pseudo-clique patterns."""
+    return {
+        pattern: miner.count(pattern, induced=True)
+        for pattern in pseudo_clique_patterns(k)
+    }

@@ -1,0 +1,66 @@
+"""Graph queries built on the partial-embedding API (paper section 4.3).
+
+Two applications the paper uses to argue the API's sufficiency:
+
+* :func:`star_center_labels` — "listing all types (labels) of vertices
+  that are the centers of size-k star-shape subgraphs": the center is
+  discoverable from partial embeddings alone, no whole-star
+  materialization needed.
+* :func:`constrained_pattern_count` — the section 8.6 label-constraint
+  query on the Figure 6 pattern.
+"""
+
+from __future__ import annotations
+
+from repro.api.constraints import labels_distinct, labels_equal
+from repro.api.session import DecoMine
+from repro.patterns.catalog import figure6_pattern, star
+from repro.patterns.pattern import Pattern
+
+__all__ = ["star_center_labels", "constrained_pattern_count",
+           "section86_query"]
+
+
+def star_center_labels(session: DecoMine, leaves: int) -> set[int]:
+    """Labels of vertices that center a star with ``leaves`` neighbors.
+
+    Implemented through partial embeddings: any subpattern containing the
+    center (pattern vertex 0) reveals it, so centers are collected without
+    materializing whole stars.
+    """
+    graph = session.graph
+    if not graph.is_labeled:
+        raise ValueError("the query needs vertex labels")
+    pattern = star(leaves)
+    labels: set[int] = set()
+
+    def udf(pe) -> None:
+        if pe.count > 0 and 0 in pe.mapping:
+            labels.add(graph.label_of(pe.mapping[0]))
+
+    session.mine(pattern, udf)
+    return labels
+
+
+def constrained_pattern_count(
+    session: DecoMine,
+    pattern: Pattern,
+    distinct: tuple[int, ...],
+    equal: tuple[int, ...],
+) -> int:
+    """Matches where ``distinct`` vertices carry pairwise different labels
+    and ``equal`` vertices carry one label."""
+    graph = session.graph
+    return session.count_with_constraints(
+        pattern,
+        [labels_distinct(graph, distinct), labels_equal(graph, equal)],
+    )
+
+
+def section86_query(session: DecoMine) -> int:
+    """The paper's section 8.6 workload: count subgraphs matching the
+    Figure 6 pattern where A, B, C have different labels and B, D, E share
+    one label."""
+    return constrained_pattern_count(
+        session, figure6_pattern(), distinct=(0, 1, 2), equal=(1, 3, 4)
+    )

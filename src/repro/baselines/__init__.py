@@ -1,0 +1,30 @@
+"""Baseline GPM systems the paper compares against, re-implemented.
+
+Every comparator in the evaluation is reproduced at the algorithmic level
+on the shared graph substrate: the compilation-based systems (AutoMine,
+Peregrine, GraphPi) as direct-plan policies over the same compiler, the
+pattern-oblivious systems (Arabesque, RStream, Pangolin, Fractal) as
+explicit enumerate-and-classify engines, and ESCAPE as the expert-tuned
+native counter.  :mod:`repro.baselines.reference` is the brute-force
+oracle used by the test suite.
+"""
+
+from repro.baselines.arabesque import Arabesque
+from repro.baselines.automine_inhouse import AutoMineInHouse
+from repro.baselines.escape import Escape
+from repro.baselines.fractal import Fractal
+from repro.baselines.graphpi import GraphPi
+from repro.baselines.pangolin import Pangolin
+from repro.baselines.peregrine import Peregrine
+from repro.baselines.rstream import RStream
+
+__all__ = [
+    "Arabesque",
+    "AutoMineInHouse",
+    "Escape",
+    "Fractal",
+    "GraphPi",
+    "Pangolin",
+    "Peregrine",
+    "RStream",
+]

@@ -1,0 +1,153 @@
+"""Arabesque re-implementation [Teixeira et al., SOSP'15].
+
+Arabesque is the canonical *pattern-oblivious* system: it enumerates all
+connected subgraphs level by level (BFS), storing every intermediate
+embedding, and classifies final embeddings with isomorphism checks.  The
+paper's Table 3 shows the resulting 2-5 orders of magnitude gap to
+pattern-aware systems; the "C (crashed, out of memory)" entries are the
+stored-embedding explosion, reproduced here as a
+:class:`~repro.exceptions.BudgetExceededError` when the stored-embedding
+budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BudgetExceededError
+from repro.graph.csr import CSRGraph
+from repro.patterns.isomorphism import (
+    automorphisms,
+    canonical_code,
+    find_isomorphism,
+)
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.pattern import Pattern
+
+__all__ = ["Arabesque"]
+
+
+class Arabesque:
+    name = "arabesque"
+
+    def __init__(self, graph: CSRGraph, max_stored: int = 400_000) -> None:
+        self.graph = graph
+        self.max_stored = max_stored
+
+    # ------------------------------------------------------------------
+    # Level-wise enumeration with full embedding storage
+    # ------------------------------------------------------------------
+    def _check_budget(self, stored: int) -> None:
+        if stored > self.max_stored:
+            raise BudgetExceededError(
+                f"{self.name}: {stored} stored embeddings exceed the "
+                f"{self.max_stored} budget (the paper's out-of-memory crash)"
+            )
+
+    def _vertex_sets(self, k: int) -> set[frozenset[int]]:
+        graph = self.graph
+        level: set[frozenset[int]] = {
+            frozenset((v,)) for v in range(graph.num_vertices)
+        }
+        for _ in range(k - 1):
+            next_level: set[frozenset[int]] = set()
+            for subgraph in level:
+                for v in subgraph:
+                    for u in graph.neighbors(v).tolist():
+                        if u not in subgraph:
+                            next_level.add(subgraph | {u})
+                            self._check_budget(len(next_level))
+            level = next_level
+        return level
+
+    def _edge_sets(self, num_edges: int) -> set[frozenset[tuple[int, int]]]:
+        graph = self.graph
+        level: set[frozenset[tuple[int, int]]] = {
+            frozenset((edge,)) for edge in graph.edges()
+        }
+        for _ in range(num_edges - 1):
+            next_level: set[frozenset[tuple[int, int]]] = set()
+            for subgraph in level:
+                covered = {v for edge in subgraph for v in edge}
+                for v in covered:
+                    for u in graph.neighbors(v).tolist():
+                        edge = (min(u, v), max(u, v))
+                        if edge not in subgraph:
+                            next_level.add(subgraph | {edge})
+                            self._check_budget(len(next_level))
+            level = next_level
+        return level
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _vertex_set_pattern(self, vertices: tuple[int, ...]) -> Pattern:
+        graph = self.graph
+        edges = graph.subgraph_adjacency(vertices)
+        labels = (
+            [graph.label_of(v) for v in vertices] if graph.is_labeled else None
+        )
+        return Pattern(len(vertices), edges, labels=labels)
+
+    def _edge_set_pattern(
+        self, edges: frozenset[tuple[int, int]]
+    ) -> tuple[Pattern, tuple[int, ...]]:
+        vertices = tuple(sorted({v for edge in edges for v in edge}))
+        index = {v: i for i, v in enumerate(vertices)}
+        local = [(index[u], index[v]) for u, v in edges]
+        labels = (
+            [self.graph.label_of(v) for v in vertices]
+            if self.graph.is_labeled else None
+        )
+        return Pattern(len(vertices), local, labels=labels), vertices
+
+    # ------------------------------------------------------------------
+    # Miner interface
+    # ------------------------------------------------------------------
+    def count(self, pattern: Pattern, induced: bool = False) -> int:
+        target_code = canonical_code(self._classification_form(pattern))
+        count = 0
+        if induced:
+            for subgraph in self._vertex_sets(pattern.n):
+                candidate = self._vertex_set_pattern(tuple(sorted(subgraph)))
+                if canonical_code(candidate) == target_code:
+                    count += 1
+        else:
+            for edges in self._edge_sets(pattern.num_edges):
+                candidate, _ = self._edge_set_pattern(edges)
+                if candidate.n == pattern.n and (
+                    canonical_code(candidate) == target_code
+                ):
+                    count += 1
+        return count
+
+    def _classification_form(self, pattern: Pattern) -> Pattern:
+        if pattern.is_labeled and not self.graph.is_labeled:
+            return pattern.without_labels()
+        return pattern
+
+    def motif_census(self, k: int) -> dict[Pattern, int]:
+        """One BFS enumeration classifies the entire census — the natural
+        batched strategy for enumerate-everything systems."""
+        buckets = {
+            canonical_code(p): p for p in all_connected_patterns(k)
+        }
+        census = {p: 0 for p in buckets.values()}
+        for subgraph in self._vertex_sets(k):
+            candidate = self._vertex_set_pattern(tuple(sorted(subgraph)))
+            code = canonical_code(candidate.without_labels())
+            census[buckets[code]] += 1
+        return census
+
+    def domains(self, pattern: Pattern) -> dict[int, set[int]]:
+        collected: dict[int, set[int]] = {v: set() for v in range(pattern.n)}
+        auts = automorphisms(pattern)
+        for edges in self._edge_sets(pattern.num_edges):
+            candidate, vertices = self._edge_set_pattern(edges)
+            if candidate.n != pattern.n:
+                continue
+            mapping = find_isomorphism(pattern, candidate)
+            if mapping is None:
+                continue
+            for sigma in auts:
+                for v in range(pattern.n):
+                    collected[v].add(vertices[mapping[sigma[v]]])
+        return collected

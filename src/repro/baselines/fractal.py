@@ -1,0 +1,153 @@
+"""Fractal re-implementation [Dias et al., SIGMOD'19] (single-node core).
+
+Fractal explores subgraphs depth-first ("fractoids"), so unlike
+Arabesque/Pangolin it never materializes a BFS frontier — low memory, no
+crashes, but still pattern-oblivious enumeration.  The DFS here is the
+classic ESU (Wernicke) scheme, which visits every connected vertex-induced
+subgraph of size k exactly once; embeddings are classified at the leaves.
+
+Edge-induced counts reuse the same walk: for each size-k vertex set, the
+number of edge-induced embeddings of ``p`` it hosts equals the number of
+spanning subgraphs of its induced graph isomorphic to ``p`` (cached per
+isomorphism class).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Iterator
+
+from repro.graph.csr import CSRGraph
+from repro.patterns.conversion import spanning_subgraph_count
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.isomorphism import (
+    automorphisms,
+    canonical_code,
+    canonical_form,
+    find_isomorphism,
+)
+from repro.patterns.pattern import Pattern
+
+__all__ = ["Fractal"]
+
+
+class Fractal:
+    name = "fractal"
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # ESU: DFS enumeration of connected induced size-k subgraphs
+    # ------------------------------------------------------------------
+    def _connected_vertex_sets(self, k: int) -> Iterator[tuple[int, ...]]:
+        graph = self.graph
+        for v in range(graph.num_vertices):
+            extension = [u for u in graph.neighbors(v).tolist() if u > v]
+            yield from self._extend([v], extension, v, k)
+
+    def _extend(self, subgraph: list[int], extension: list[int],
+                root: int, k: int) -> Iterator[tuple[int, ...]]:
+        if len(subgraph) == k:
+            yield tuple(sorted(subgraph))
+            return
+        graph = self.graph
+        ext = list(extension)
+        while ext:
+            w = ext.pop()
+            covered = set(subgraph)
+            neighborhood = {
+                u for s in subgraph for u in graph.neighbors(s).tolist()
+            }
+            new_extension = list(ext)
+            for u in graph.neighbors(w).tolist():
+                if u > root and u not in covered and u not in neighborhood:
+                    new_extension.append(u)
+            yield from self._extend(subgraph + [w], new_extension, root, k)
+
+    def _induced(self, vertices: tuple[int, ...]) -> Pattern:
+        graph = self.graph
+        edges = graph.subgraph_adjacency(vertices)
+        labels = (
+            [graph.label_of(v) for v in vertices] if graph.is_labeled else None
+        )
+        return Pattern(len(vertices), edges, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Miner interface
+    # ------------------------------------------------------------------
+    def count(self, pattern: Pattern, induced: bool = False) -> int:
+        target_code = canonical_code(
+            pattern if self.graph.is_labeled or not pattern.is_labeled
+            else pattern.without_labels()
+        )
+        count = 0
+        if induced:
+            for vertices in self._connected_vertex_sets(pattern.n):
+                if canonical_code(self._induced(vertices)) == target_code:
+                    count += 1
+            return count
+        spanning = _spanning_counter(canonical_form(pattern.without_labels()))
+        if pattern.is_labeled and self.graph.is_labeled:
+            # Labeled edge-induced counting classifies subgraph by subgraph.
+            return self._labeled_edge_induced(pattern)
+        for vertices in self._connected_vertex_sets(pattern.n):
+            count += spanning(canonical_form(self._induced(vertices)))
+        return count
+
+    def _labeled_edge_induced(self, pattern: Pattern) -> int:
+        count = 0
+        for vertices in self._connected_vertex_sets(pattern.n):
+            host = self._induced(vertices)
+            count += spanning_subgraph_count(pattern, host)
+        return count
+
+    def motif_census(self, k: int) -> dict[Pattern, int]:
+        buckets = {canonical_code(p): p for p in all_connected_patterns(k)}
+        census = {p: 0 for p in buckets.values()}
+        for vertices in self._connected_vertex_sets(k):
+            code = canonical_code(self._induced(vertices).without_labels())
+            census[buckets[code]] += 1
+        return census
+
+    def domains(self, pattern: Pattern) -> dict[int, set[int]]:
+        collected: dict[int, set[int]] = {v: set() for v in range(pattern.n)}
+        auts = automorphisms(pattern)
+        for vertices in self._connected_vertex_sets(pattern.n):
+            host = self._induced(vertices)
+            # Every spanning placement of the pattern inside this induced
+            # subgraph is an edge-induced match; enumerate them.
+            for local_mapping in _spanning_placements(pattern, host):
+                for sigma in auts:
+                    for v in range(pattern.n):
+                        collected[v].add(vertices[local_mapping[sigma[v]]])
+        return collected
+
+
+@lru_cache(maxsize=None)
+def _spanning_counter(target: Pattern) -> Callable[[Pattern], int]:
+    @lru_cache(maxsize=None)
+    def counter(host: Pattern) -> int:
+        return spanning_subgraph_count(target, host)
+
+    return counter
+
+
+def _spanning_placements(pattern: Pattern, host: Pattern):
+    """Distinct spanning placements of ``pattern`` inside ``host`` (one
+    representative mapping per placed edge set)."""
+    import itertools
+
+    host_edges = host.edges()
+    seen: set[frozenset] = set()
+    for subset in itertools.combinations(host_edges, pattern.num_edges):
+        key = frozenset(subset)
+        if key in seen:
+            continue
+        seen.add(key)
+        candidate = Pattern(host.n, subset, labels=host.labels)
+        if not candidate.is_connected:
+            continue
+        mapping = find_isomorphism(pattern, candidate)
+        if mapping is not None:
+            yield mapping

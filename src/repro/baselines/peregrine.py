@@ -1,0 +1,40 @@
+"""Peregrine re-implementation [Jamshidi et al., EuroSys'20].
+
+Peregrine is a pattern-aware system: it derives a matching order and
+symmetry-breaking restrictions from the pattern's structure (no input
+cost model) and enumerates with vertex-set operations.  Its matching
+order heuristic favors a dense core first — approximated here by the
+classic degeneracy-style greedy: start at a maximum-degree vertex, always
+extend with the vertex most connected to the matched prefix.
+
+Label-constraint workloads materialize whole embeddings and filter —
+exactly the cost the paper's section 8.6 measures against DecoMine's
+partial resolution.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import DirectPlanSystem
+from repro.compiler.specs import DirectSpec
+from repro.patterns.isomorphism import automorphism_count
+from repro.patterns.matching_order import greedy_extension_order
+from repro.patterns.pattern import Pattern
+from repro.patterns.symmetry import symmetry_breaking_restrictions
+
+__all__ = ["Peregrine"]
+
+
+class Peregrine(DirectPlanSystem):
+    name = "peregrine"
+
+    def select_spec(self, pattern: Pattern, induced: bool, mode: str) -> DirectSpec:
+        first = max(range(pattern.n), key=pattern.degree)
+        rest = [v for v in range(pattern.n) if v != first]
+        order = (first,) + (
+            greedy_extension_order(pattern, [first], rest) if rest else ()
+        )
+        restrictions: tuple = ()
+        if automorphism_count(pattern) > 1:
+            restrictions = tuple(symmetry_breaking_restrictions(pattern))
+        return DirectSpec(pattern, order, restrictions=restrictions,
+                          induced=induced)

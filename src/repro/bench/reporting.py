@@ -1,0 +1,56 @@
+"""Benchmark report formatting.
+
+Every benchmark prints a table with the reproduction's measurements next
+to the paper's published numbers, so shape-preservation (who wins, by
+roughly what factor) is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_paper_reference"]
+
+
+@dataclass
+class Table:
+    """A plain-text table accumulated row by row."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        out = [f"== {self.title} ==", line(self.columns),
+               line(["-" * w for w in widths])]
+        out.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def format_paper_reference(paper_value: str) -> str:
+    """Annotate a cell with the paper's published figure."""
+    return f"paper:{paper_value}"

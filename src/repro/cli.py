@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro count --dataset wikivote --pattern house
+    python -m repro count --graph my.snap.txt --pattern 5-cycle --induced
+    python -m repro census --dataset emaileucore --size 4
+    python -m repro fsm --dataset mico --support 20
+    python -m repro explain --dataset wikivote --pattern 4-chain
+    python -m repro datasets
+
+Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
+``net``, ``tailed-triangle``, ``k-chain``, ``k-cycle``, ``k-clique``,
+``k-star`` (k a number).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api.session import DecoMine
+from repro.exceptions import PatternError
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+
+__all__ = ["main", "parse_pattern"]
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern name like ``house`` or ``6-cycle``."""
+    named = {
+        "triangle": catalog.triangle,
+        "diamond": catalog.diamond,
+        "house": catalog.house,
+        "gem": catalog.gem,
+        "bowtie": catalog.bowtie,
+        "net": catalog.net,
+        "tailed-triangle": catalog.tailed_triangle,
+    }
+    key = text.strip().lower()
+    if key in named:
+        return named[key]()
+    if "-" in key:
+        head, _, kind = key.partition("-")
+        if head.isdigit():
+            k = int(head)
+            builders = {
+                "chain": catalog.chain,
+                "path": catalog.chain,
+                "cycle": catalog.cycle,
+                "clique": catalog.clique,
+                "star": catalog.star,
+            }
+            if kind in builders:
+                return builders[kind](k)
+    raise PatternError(
+        f"unknown pattern {text!r}; use a catalog name or k-chain/k-cycle/"
+        "k-clique/k-star"
+    )
+
+
+def _load_graph(args):
+    from repro.graph import datasets, io
+
+    if args.graph:
+        return io.load_edge_list(args.graph)
+    if getattr(args, "labeled_graph", None):
+        return io.load_labeled_graph(args.labeled_graph)
+    if args.dataset:
+        return datasets.load(args.dataset)
+    raise SystemExit(
+        "one of --graph FILE, --labeled-graph FILE or --dataset NAME is "
+        "required"
+    )
+
+
+def _add_graph_args(parser):
+    parser.add_argument("--graph", help="SNAP-style edge list file")
+    parser.add_argument("--labeled-graph",
+                        help="GraMi-style labeled graph file (v/e lines)")
+    parser.add_argument("--dataset",
+                        help="built-in dataset analogue (see `datasets`)")
+    parser.add_argument("--cost-model", default="approx_mining",
+                        choices=("approx_mining", "locality", "automine"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DecoMine-reproduction GPM system"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="count a pattern's embeddings")
+    _add_graph_args(count)
+    count.add_argument("--pattern", required=True)
+    count.add_argument("--induced", action="store_true",
+                       help="vertex-induced semantics")
+
+    census = sub.add_parser("census", help="k-motif census")
+    _add_graph_args(census)
+    census.add_argument("--size", type=int, required=True)
+
+    fsm = sub.add_parser("fsm", help="frequent subgraph mining")
+    _add_graph_args(fsm)
+    fsm.add_argument("--support", type=int, required=True)
+    fsm.add_argument("--max-edges", type=int, default=3)
+
+    explain = sub.add_parser("explain", help="show the selected plan")
+    _add_graph_args(explain)
+    explain.add_argument("--pattern", required=True)
+    explain.add_argument("--source", action="store_true",
+                         help="print the generated plan source")
+
+    sub.add_parser("datasets", help="list built-in dataset analogues")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "datasets":
+        from repro.graph.datasets import REGISTRY
+
+        for abbr, spec in REGISTRY.items():
+            print(f"{abbr:5} {spec.name:12} paper |V|={spec.paper_vertices:>6} "
+                  f"|E|={spec.paper_edges:>6}  {spec.description}")
+        return 0
+
+    graph = _load_graph(args)
+    session = DecoMine(graph, cost_model=args.cost_model)
+    print(f"graph: {graph}", file=sys.stderr)
+
+    if args.command == "count":
+        pattern = parse_pattern(args.pattern)
+        started = time.perf_counter()
+        value = session.get_pattern_count(pattern, induced=args.induced)
+        elapsed = time.perf_counter() - started
+        kind = "vertex-induced" if args.induced else "edge-induced"
+        print(f"{pattern.name}: {value} {kind} embeddings "
+              f"({elapsed:.2f}s)")
+        return 0
+
+    if args.command == "census":
+        from repro.apps import DecoMineMiner, count_motifs
+
+        started = time.perf_counter()
+        result = count_motifs(DecoMineMiner(session), args.size)
+        elapsed = time.perf_counter() - started
+        for pattern, value in result.items():
+            print(f"{pattern.name:12} {value}")
+        print(f"total: {sum(result.values())} ({elapsed:.2f}s)",
+              file=sys.stderr)
+        return 0
+
+    if args.command == "fsm":
+        from repro.apps import DecoMineMiner, frequent_subgraph_mining
+
+        result = frequent_subgraph_mining(
+            DecoMineMiner(session), graph, args.support,
+            max_edges=args.max_edges,
+        )
+        for item in sorted(result.frequent, key=lambda f: -f.support):
+            p = item.pattern
+            print(f"support={item.support:6} labels={list(p.labels)} "
+                  f"edges={p.edges()}")
+        print(f"{result.num_frequent} frequent patterns "
+              f"({result.candidates_examined} candidates)", file=sys.stderr)
+        return 0
+
+    if args.command == "explain":
+        pattern = parse_pattern(args.pattern)
+        plan = session.plan_for(pattern)
+        print(plan.describe())
+        if args.source:
+            print(plan.source)
+        return 0
+
+    raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The DecoMine compiler: AST IR, passes, cost-model-driven search, codegen."""
+
+from repro.compiler.build import COUNT_ACC, PlanInfo, build_ast
+from repro.compiler.pipeline import CompiledPlan, compile_pattern, compile_spec
+from repro.compiler.search import (
+    PlanCandidate,
+    SearchOptions,
+    enumerate_candidates,
+    random_spec,
+    search,
+)
+from repro.compiler.specs import Constraint, DecompSpec, DirectSpec, PlanSpec
+
+__all__ = [
+    "COUNT_ACC",
+    "PlanInfo",
+    "build_ast",
+    "CompiledPlan",
+    "compile_pattern",
+    "compile_spec",
+    "PlanCandidate",
+    "SearchOptions",
+    "enumerate_candidates",
+    "random_spec",
+    "search",
+    "Constraint",
+    "DecompSpec",
+    "DirectSpec",
+    "PlanSpec",
+]

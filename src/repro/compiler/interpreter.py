@@ -1,0 +1,154 @@
+"""Tree-walking reference executor for the DecoMine AST.
+
+The production path generates Python source (:mod:`repro.compiler.codegen`);
+this interpreter executes the same tree directly and exists to (a) validate
+codegen in differential tests and (b) serve as the `executor="interpreter"`
+ablation.  Semantics of each node type are documented in
+:mod:`repro.compiler.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    EmitPartial,
+    HashAdd,
+    HashClear,
+    HashGet,
+    IfPositive,
+    IfPred,
+    Loop,
+    Node,
+    Root,
+    ScalarOp,
+    SetOp,
+)
+from repro.graph import vertex_set as vs
+from repro.graph.csr import CSRGraph
+from repro.runtime.context import ExecutionContext
+
+__all__ = ["run_interpreter"]
+
+
+def run_interpreter(
+    root: Root,
+    graph: CSRGraph,
+    ctx: ExecutionContext,
+    start: int | None = None,
+    stop: int | None = None,
+) -> dict[str, int]:
+    """Execute the tree; returns this invocation's accumulator values.
+
+    ``start``/``stop`` restrict the outermost loop to a slice of its
+    source set — the chunking hook the parallel engine uses.
+    """
+    env: dict[str, Any] = {name: 0 for name in root.accumulators}
+    _Interp(graph, ctx, env, start, stop).block(root.body, outer=True)
+    return {name: env[name] for name in root.accumulators}
+
+
+class _Interp:
+    def __init__(self, graph, ctx, env, start, stop):
+        self.graph = graph
+        self.ctx = ctx
+        self.env = env
+        self.start = start
+        self.stop = stop
+
+    def block(self, nodes: list[Node], outer: bool = False) -> None:
+        for node in nodes:
+            self.execute(node, outer)
+
+    def execute(self, node: Node, outer: bool = False) -> None:
+        env = self.env
+        if isinstance(node, SetOp):
+            env[node.target] = self.set_op(node)
+        elif isinstance(node, ScalarOp):
+            env[node.target] = self.scalar_op(node)
+        elif isinstance(node, Loop):
+            source = env[node.source]
+            if outer:
+                lo = self.start if self.start is not None else 0
+                hi = self.stop if self.stop is not None else len(source)
+                source = source[lo:hi]
+            body = node.body
+            var = node.var
+            for value in source.tolist():
+                env[var] = value
+                self.block(body)
+        elif isinstance(node, Accumulate):
+            value = env[node.value] if isinstance(node.value, str) else node.value
+            env[node.target] += value
+        elif isinstance(node, IfPositive):
+            if env[node.scalar] > 0:
+                self.block(node.body)
+        elif isinstance(node, IfPred):
+            args = tuple(env[v] for v in node.vertices)
+            if self.ctx.predicates[node.pred](*args):
+                self.block(node.body)
+        elif isinstance(node, HashClear):
+            self.ctx.tables[node.table].clear()
+        elif isinstance(node, HashAdd):
+            key = tuple(env[v] for v in node.key)
+            self.ctx.tables[node.table].add(key)
+        elif isinstance(node, HashGet):
+            key = tuple(env[v] for v in node.key)
+            env[node.target] = self.ctx.tables[node.table].get(key)
+        elif isinstance(node, EmitPartial):
+            count = env[node.count] if isinstance(node.count, str) else node.count
+            vertices = tuple(env[v] for v in node.vertices)
+            self.ctx.emit(node.index, vertices, count)
+        else:
+            raise TypeError(f"cannot interpret {type(node).__name__}")
+
+    def set_op(self, node: SetOp):
+        env = self.env
+        graph = self.graph
+        op = node.op
+        args = node.args
+        if op == "universe":
+            return graph.vertices()
+        if op == "neighbors":
+            return graph.neighbors(env[args[0]])
+        if op == "intersect":
+            return vs.intersect(env[args[0]], env[args[1]])
+        if op == "subtract":
+            return vs.subtract(env[args[0]], env[args[1]])
+        if op == "copy":
+            return env[args[0]]
+        if op == "trim_below":
+            return vs.trim_below(env[args[0]], env[args[1]])
+        if op == "trim_above":
+            return vs.trim_above(env[args[0]], env[args[1]])
+        if op == "exclude":
+            values = tuple(env[a] for a in args[1:])
+            return vs.exclude(env[args[0]], *values)
+        if op == "filter_label":
+            return graph.filter_label(env[args[0]], args[1])
+        if op == "label_universe":
+            return graph.vertices_with_label(args[0])
+        raise ValueError(f"unknown set op {op!r}")
+
+    def scalar_op(self, node: ScalarOp):
+        env = self.env
+
+        def value(arg):
+            return env[arg] if isinstance(arg, str) else arg
+
+        op = node.op
+        args = node.args
+        if op == "const":
+            return args[0]
+        if op == "size":
+            return len(env[args[0]])
+        if op == "mul":
+            return value(args[0]) * value(args[1])
+        if op == "add":
+            return value(args[0]) + value(args[1])
+        if op == "sub":
+            return value(args[0]) - value(args[1])
+        if op == "floordiv":
+            return value(args[0]) // value(args[1])
+        raise ValueError(f"unknown scalar op {op!r}")

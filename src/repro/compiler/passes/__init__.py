@@ -1,0 +1,25 @@
+"""Middle-end optimization passes over the DecoMine AST.
+
+The paper's middle end applies Loop Invariant Code Motion and Common
+Subexpression Elimination (section 7.1) plus pattern-aware loop rewriting
+(section 7.2, applied at build time -- see :mod:`repro.compiler.build`).
+This package adds the two standard clean-up passes that make those
+effective: dead code elimination and innermost-loop elision (counting a
+candidate set by its size instead of iterating it -- the optimization every
+vertex-set-based GPM system relies on).
+"""
+
+from repro.compiler.passes.cse import common_subexpression_elimination
+from repro.compiler.passes.dce import dead_code_elimination
+from repro.compiler.passes.elide import elide_counting_loops
+from repro.compiler.passes.licm import loop_invariant_code_motion
+from repro.compiler.passes.pipeline import PassOptions, optimize
+
+__all__ = [
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "elide_counting_loops",
+    "loop_invariant_code_motion",
+    "optimize",
+    "PassOptions",
+]

@@ -1,0 +1,96 @@
+"""Common Subexpression Elimination (paper section 7.1, Figure 13b).
+
+Duplicate pure definitions are replaced by references to the first
+occurrence that dominates them (structured code: an expression available
+in a block is available in every nested block).  Commutative operations
+are normalized so ``N(a) ∩ N(b)`` and ``N(b) ∩ N(a)`` unify — the exact
+effect the paper highlights for PLR compensation subtrees (Figure 13c).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    IfPositive,
+    IfPred,
+    Loop,
+    Node,
+    Root,
+    ScalarOp,
+    SetOp,
+    substitute_args,
+    walk,
+)
+
+__all__ = ["common_subexpression_elimination"]
+
+_COMMUTATIVE = {"intersect", "mul", "add"}
+
+
+def common_subexpression_elimination(root: Root) -> int:
+    """Unify duplicate pure expressions; returns eliminated node count."""
+    volatile = {
+        node.target for node in walk(root) if isinstance(node, Accumulate)
+    }
+    alias: dict[str, str] = {}
+    return _process_block(root.body, {}, alias, volatile)
+
+
+def _expression_key(node: Node) -> tuple | None:
+    if isinstance(node, SetOp):
+        args = node.args
+        if node.op in _COMMUTATIVE:
+            args = tuple(sorted(args, key=repr))
+        elif node.op == "exclude":
+            args = (args[0],) + tuple(sorted(args[1:]))
+        return ("set", node.op, args)
+    if isinstance(node, ScalarOp):
+        args = node.args
+        if node.op in _COMMUTATIVE:
+            args = tuple(sorted(args, key=repr))
+        return ("scalar", node.op, args)
+    return None
+
+
+def _process_block(
+    block: list[Node],
+    available: dict[tuple, str],
+    alias: dict[str, str],
+    volatile: set[str],
+) -> int:
+    removed = 0
+    kept: list[Node] = []
+    for node in block:
+        substitute_args(node, alias)
+        key = _expression_key(node)
+        if (
+            key is not None
+            and not _reads_volatile(node, volatile)
+            and _target(node) not in volatile  # accumulator inits are unique
+        ):
+            existing = available.get(key)
+            if existing is not None:
+                alias[_target(node)] = existing
+                removed += 1
+                continue
+            available[key] = _target(node)
+            kept.append(node)
+            continue
+        if isinstance(node, Loop):
+            removed += _process_block(node.body, dict(available), alias, volatile)
+        elif isinstance(node, (IfPositive, IfPred)):
+            removed += _process_block(node.body, dict(available), alias, volatile)
+        kept.append(node)
+    block[:] = kept
+    return removed
+
+
+def _target(node: Node) -> str:
+    assert isinstance(node, (SetOp, ScalarOp))
+    return node.target
+
+
+def _reads_volatile(node: Node, volatile: set[str]) -> bool:
+    if isinstance(node, (SetOp, ScalarOp)):
+        return any(isinstance(a, str) and a in volatile for a in node.args)
+    return False

@@ -1,0 +1,91 @@
+"""Dead code elimination.
+
+Removes pure definitions whose results are never consumed and collapses
+loops/conditionals whose bodies have no effects.  This is the clean-up
+behind CSE (which leaves orphaned definitions when it rewrites uses) and
+loop elision (which orphans candidate sets that were only iterated).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    EmitPartial,
+    HashAdd,
+    HashClear,
+    HashGet,
+    IfPositive,
+    IfPred,
+    Loop,
+    Node,
+    Root,
+    ScalarOp,
+    SetOp,
+    node_uses,
+    walk,
+)
+
+__all__ = ["dead_code_elimination"]
+
+_EFFECT_TYPES = (Accumulate, EmitPartial, HashAdd, HashClear)
+
+
+def dead_code_elimination(root: Root) -> int:
+    """Drop dead nodes; returns the number removed."""
+    removed_total = 0
+    while True:
+        removed = _sweep(root)
+        if not removed:
+            break
+        removed_total += removed
+    return removed_total
+
+
+def _sweep(root: Root) -> int:
+    needed: set[str] = set()
+    for node in walk(root):
+        if isinstance(node, _EFFECT_TYPES):
+            needed |= node_uses(node)
+        elif isinstance(node, Loop):
+            needed.add(node.source)
+        elif isinstance(node, IfPositive):
+            needed.add(node.scalar)
+        elif isinstance(node, IfPred):
+            needed |= set(node.vertices)
+        elif isinstance(node, (SetOp, ScalarOp, HashGet)):
+            needed |= node_uses(node)
+    # Note: uses of dead nodes keep their own operands alive for one sweep;
+    # the fixpoint loop peels such chains iteratively.
+    return _prune_block(root.body, needed)
+
+
+def _prune_block(block: list[Node], needed: set[str]) -> int:
+    removed = 0
+    kept: list[Node] = []
+    for node in block:
+        if isinstance(node, (SetOp, ScalarOp, HashGet)):
+            if node.target not in needed:
+                removed += 1
+                continue
+        elif isinstance(node, Loop):
+            removed += _prune_block(node.body, needed)
+            if not _has_effect(node.body):
+                removed += 1
+                continue
+        elif isinstance(node, (IfPositive, IfPred)):
+            removed += _prune_block(node.body, needed)
+            if not node.body:
+                removed += 1
+                continue
+        kept.append(node)
+    block[:] = kept
+    return removed
+
+
+def _has_effect(block: list[Node]) -> bool:
+    for node in block:
+        if isinstance(node, _EFFECT_TYPES):
+            return True
+        if isinstance(node, (Loop, IfPositive, IfPred)) and _has_effect(node.body):
+            return True
+    return False

@@ -1,0 +1,74 @@
+"""Innermost counting-loop elision.
+
+A loop whose entire body is ``acc += c`` for a constant ``c`` contributes
+``c * |candidates|`` — so the loop is replaced by a set-size computation.
+This is the standard last-level optimization of vertex-set-based GPM
+systems (AutoMine, GraphPi, Peregrine all rely on it); in decomposition
+plans it turns the innermost extension loop of every subpattern and
+shrinkage pattern into a single ``len()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    IfPositive,
+    IfPred,
+    Loop,
+    Node,
+    Root,
+    ScalarOp,
+)
+
+__all__ = ["elide_counting_loops"]
+
+_counter = itertools.count()
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}_el{next(_counter)}"
+
+
+def elide_counting_loops(root: Root) -> int:
+    """Replace pure counting loops by size computations; returns count."""
+    return _process_block(root.body)
+
+
+def _process_block(block: list[Node]) -> int:
+    replaced = 0
+    index = 0
+    while index < len(block):
+        node = block[index]
+        if isinstance(node, Loop):
+            replacement = _try_elide(node)
+            if replacement is not None:
+                block[index: index + 1] = replacement
+                replaced += 1
+                index += len(replacement)
+                continue
+            replaced += _process_block(node.body)
+        elif isinstance(node, (IfPositive, IfPred)):
+            replaced += _process_block(node.body)
+        index += 1
+    return replaced
+
+
+def _try_elide(loop: Loop) -> list[Node] | None:
+    if len(loop.body) != 1:
+        return None
+    only = loop.body[0]
+    if not isinstance(only, Accumulate) or not isinstance(only.value, int):
+        return None
+    size_var = _fresh("c")
+    nodes: list[Node] = [ScalarOp(size_var, "size", (loop.source,))]
+    value: str | int
+    if only.value == 1:
+        value = size_var
+    else:
+        scaled = _fresh("c")
+        nodes.append(ScalarOp(scaled, "mul", (size_var, only.value)))
+        value = scaled
+    nodes.append(Accumulate(only.target, value))
+    return nodes

@@ -1,0 +1,168 @@
+"""Top-level compilation pipeline (paper Figure 12).
+
+``compile_pattern`` runs the full front-end → middle-end → cost-model →
+back-end flow and returns a :class:`CompiledPlan` ready for the runtime
+engine.  ``compile_spec`` skips the search and compiles one explicit spec
+(used by the PLR and cost-model experiments, which sweep the space
+manually).
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compiler.build import PlanInfo, build_ast
+from repro.compiler.codegen import compile_root
+from repro.compiler.passes import PassOptions, optimize
+from repro.compiler.search import SearchOptions, search
+from repro.compiler.specs import Constraint, PlanSpec
+from repro.costmodel import CostModel, CostProfile, get_model
+from repro.patterns.pattern import Pattern
+
+__all__ = ["CompiledPlan", "compile_pattern", "compile_spec"]
+
+# Per-profile cache of count-mode unconstrained plans.  Counting plans are
+# isomorphism-invariant, and the recursive compilation of global-shrinkage
+# corrections re-encounters the same quotient classes constantly.
+_PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+@dataclass
+class CompiledPlan:
+    """An executable GPM plan plus everything needed to explain it.
+
+    ``aux_plans`` carries the globally-counted shrinkage corrections of a
+    ``include_shrinkages=False`` decomposition: pairs of (quotient plan,
+    injective-count multiplier); the engine subtracts
+    ``multiplier * quotient_raw_count`` from the main accumulator.
+    """
+
+    pattern: Pattern
+    spec: PlanSpec
+    mode: str
+    root: object
+    info: PlanInfo
+    source: str
+    function: Callable
+    cost: float
+    compile_seconds: float
+    model_name: str
+    aux_plans: tuple[tuple["CompiledPlan", int], ...] = ()
+
+    @property
+    def uses_decomposition(self) -> bool:
+        return self.spec.kind == "decomp"
+
+    def describe(self) -> str:
+        kind = "decomposition" if self.uses_decomposition else "direct"
+        aux = (
+            f", {len(self.aux_plans)} global shrinkage plan(s)"
+            if self.aux_plans else ""
+        )
+        return (
+            f"{kind} plan for {self.pattern.name or 'pattern'}: "
+            f"{self.spec.describe()}{aux} (predicted cost {self.cost:.3g}, "
+            f"compiled in {self.compile_seconds * 1e3:.1f} ms)"
+        )
+
+
+def compile_pattern(
+    pattern: Pattern,
+    profile: CostProfile,
+    model: CostModel | str = "approx_mining",
+    mode: str = "count",
+    induced: bool = False,
+    constraints: tuple[Constraint, ...] = (),
+    options: SearchOptions = SearchOptions(),
+) -> CompiledPlan:
+    """Search the algorithm space and compile the best candidate."""
+    if isinstance(model, str):
+        model = get_model(model)
+    cache_key = None
+    if mode == "count" and not constraints:
+        from repro.patterns.isomorphism import canonical_code
+
+        cache = _PLAN_CACHE.setdefault(profile, {})
+        cache_key = (canonical_code(pattern), model.name, induced, options)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+    started = time.perf_counter()
+    best = search(
+        pattern, profile, model, mode=mode, induced=induced,
+        constraints=constraints, options=options,
+    )
+    function, source = compile_root(best.root)
+    aux_plans: tuple = ()
+    spec = best.spec
+    if getattr(spec, "include_shrinkages", True) is False:
+        from repro.patterns.isomorphism import automorphism_count
+
+        aux = []
+        for shrinkage in spec.decomposition.shrinkages:
+            quotient_plan = compile_pattern(
+                shrinkage.pattern, profile, model, mode="count",
+                options=options,
+            )
+            multiplier = (
+                automorphism_count(shrinkage.pattern)
+                // quotient_plan.info.divisor
+            )
+            aux.append((quotient_plan, multiplier))
+        aux_plans = tuple(aux)
+    elapsed = time.perf_counter() - started
+    plan = CompiledPlan(
+        pattern=pattern,
+        spec=best.spec,
+        mode=mode,
+        root=best.root,
+        info=best.info,
+        source=source,
+        function=function,
+        cost=best.cost,
+        compile_seconds=elapsed,
+        model_name=model.name,
+        aux_plans=aux_plans,
+    )
+    if cache_key is not None:
+        _PLAN_CACHE[profile][cache_key] = plan
+    return plan
+
+
+def compile_spec(
+    spec: PlanSpec,
+    mode: str = "count",
+    passes: PassOptions = PassOptions(),
+    profile: CostProfile | None = None,
+    model: CostModel | str | None = None,
+) -> CompiledPlan:
+    """Compile one explicit spec without searching."""
+    started = time.perf_counter()
+    root, info = build_ast(spec, mode)
+    optimize(root, passes)
+    cost = float("nan")
+    model_name = "none"
+    if profile is not None and model is not None:
+        if isinstance(model, str):
+            model = get_model(model)
+        from repro.costmodel import estimate_cost
+
+        cost = estimate_cost(root, profile, model)
+        model_name = model.name
+    function, source = compile_root(root)
+    elapsed = time.perf_counter() - started
+    return CompiledPlan(
+        pattern=spec.pattern,
+        spec=spec,
+        mode=mode,
+        root=root,
+        info=info,
+        source=source,
+        function=function,
+        cost=cost,
+        compile_seconds=elapsed,
+        model_name=model_name,
+    )

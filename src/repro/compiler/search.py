@@ -1,0 +1,471 @@
+"""Algorithm search engine (paper section 7.3, Figure 12).
+
+The search space has two algorithm-level axes: how to decompose the
+pattern (which vertex cutting set, including "don't decompose") and the
+matching orders.  Every candidate is lowered to an AST, optimized by the
+middle end, and priced by the cost model; the cheapest wins.
+
+Two scoping devices keep the search fast, mirroring the paper's structure:
+
+* extension orders of different subpatterns contribute *additively* to the
+  plan cost given the cutting-set match, so the best order is picked per
+  subpattern independently before full plans are assembled;
+* PLR is only attempted on cutting-set prefixes whose induced subpattern
+  actually has symmetry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.compiler.ast_nodes import LoopMeta, Root
+from repro.compiler.build import PlanInfo, build_ast
+from repro.compiler.passes import PassOptions, optimize
+from repro.compiler.specs import Constraint, DecompSpec, DirectSpec, PlanSpec
+from repro.costmodel import CostModel, CostProfile, estimate_cost
+from repro.exceptions import CompilationError
+from repro.patterns.decomposition import Decomposition, all_decompositions
+from repro.patterns.isomorphism import automorphism_count
+from repro.patterns.matching_order import (
+    cap_orders,
+    connected_orders,
+    extension_orders,
+)
+from repro.patterns.pattern import Pattern
+from repro.patterns.symmetry import symmetry_breaking_restrictions
+
+__all__ = ["SearchOptions", "PlanCandidate", "enumerate_candidates",
+           "search", "random_spec"]
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Caps and toggles bounding the search space."""
+
+    max_vc_orders: int = 4
+    max_ext_orders: int = 12
+    max_direct_orders: int = 4
+    #: Decompositions with more shrinkage patterns than this are skipped:
+    #: many-singleton-component cuts (stars are the extreme) produce a
+    #: Bell-number quotient explosion that no cost model needs to price.
+    max_shrinkages: int = 64
+    #: Decomposition candidates are pre-ranked with a closed-form spec
+    #: estimate and only the cheapest this-many get the full
+    #: build-optimize-price evaluation (6-motif compiles 112 patterns;
+    #: full evaluation of every candidate would dominate compile time).
+    full_eval_limit: int = 32
+    enable_plr: bool = True
+    enable_decomposition: bool = True
+    enable_direct: bool = True
+    symmetry_breaking: bool = True
+    passes: PassOptions = field(default_factory=PassOptions)
+
+
+@dataclass
+class PlanCandidate:
+    """One evaluated point of the search space."""
+
+    spec: PlanSpec
+    root: Root
+    info: PlanInfo
+    cost: float
+
+
+def search(
+    pattern: Pattern,
+    profile: CostProfile,
+    model: CostModel,
+    mode: str = "count",
+    induced: bool = False,
+    constraints: tuple[Constraint, ...] = (),
+    options: SearchOptions = SearchOptions(),
+) -> PlanCandidate:
+    """Return the cheapest candidate; raises if the space is empty."""
+    best: PlanCandidate | None = None
+    for candidate in enumerate_candidates(
+        pattern, profile, model, mode, induced, constraints, options
+    ):
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    if best is None:
+        raise CompilationError(
+            f"no feasible plan for {pattern!r} "
+            f"(induced={induced}, constraints={len(constraints)})"
+        )
+    return best
+
+
+def enumerate_candidates(
+    pattern: Pattern,
+    profile: CostProfile,
+    model: CostModel,
+    mode: str = "count",
+    induced: bool = False,
+    constraints: tuple[Constraint, ...] = (),
+    options: SearchOptions = SearchOptions(),
+):
+    """Yield every evaluated candidate (used directly by Figure 19)."""
+    if options.enable_direct:
+        for spec in _direct_specs(pattern, induced, constraints, options,
+                                  profile, model):
+            yield _evaluate(spec, mode, profile, model, options)
+    if options.enable_decomposition and not induced and pattern.n >= 3:
+        ranked = sorted(
+            _decomp_specs(pattern, profile, model, constraints, options,
+                          mode),
+            key=lambda pair: pair[0],
+        )
+        for _prelim, spec in ranked[: options.full_eval_limit]:
+            try:
+                yield _evaluate(spec, mode, profile, model, options)
+            except CompilationError:
+                continue  # constraint placement infeasible for this VC
+
+
+def _evaluate(
+    spec: PlanSpec,
+    mode: str,
+    profile: CostProfile,
+    model: CostModel,
+    options: SearchOptions,
+) -> PlanCandidate:
+    root, info = build_ast(spec, mode)
+    optimize(root, options.passes)
+    cost = estimate_cost(root, profile, model)
+    if isinstance(spec, DecompSpec) and not spec.include_shrinkages:
+        for shrinkage in spec.decomposition.shrinkages:
+            cost += _global_count_estimate(shrinkage.pattern, profile, model)
+    return PlanCandidate(spec=spec, root=root, info=info, cost=cost)
+
+
+def _global_count_estimate(pattern, profile, model) -> float:
+    """Rough cost of counting a quotient pattern as its own problem.
+
+    Priced as a symmetry-broken direct plan under a greedy order; the
+    recursive compilation of the actual quotient plan (which may itself
+    decompose) can only do better.
+    """
+    from repro.patterns.matching_order import greedy_extension_order
+
+    first = max(range(pattern.n), key=pattern.degree)
+    rest = [v for v in range(pattern.n) if v != first]
+    order = greedy_extension_order(pattern, [first], rest) if rest else ()
+    n = max(profile.num_vertices, 1)
+    cost = float(n)
+    cost += n * _extension_order_cost(pattern, (first,), order, profile, model)
+    return cost / automorphism_count(pattern)
+
+
+# ----------------------------------------------------------------------
+# Direct plans
+# ----------------------------------------------------------------------
+
+def _direct_specs(pattern, induced, constraints, options, profile, model):
+    if pattern.n == 1:
+        yield DirectSpec(pattern, (0,), constraints=constraints)
+        return
+    restrictions: tuple[tuple[int, int], ...] = ()
+    if (
+        options.symmetry_breaking
+        and not constraints  # constrained counting uses match semantics
+        and automorphism_count(pattern) > 1
+    ):
+        restrictions = tuple(symmetry_breaking_restrictions(pattern))
+    for order in _direct_order_candidates(
+        pattern, profile, model, options.max_direct_orders
+    ):
+        yield DirectSpec(
+            pattern,
+            order,
+            restrictions=restrictions,
+            induced=induced,
+            constraints=constraints,
+        )
+
+
+def _direct_order_candidates(pattern, profile, model, limit):
+    """Promising connected matching orders, by beam search under the model.
+
+    Enumerating all connected permutations is both infeasible for 8-vertex
+    patterns and a poor candidate generator (the first few permutations
+    are arbitrary).  The beam grows orders one vertex at a time, scoring
+    prefixes by estimated cumulative loop trips; the classic
+    densest-first greedy order (Peregrine's heuristic) is always included,
+    so the search space contains the heuristic baselines' plans.
+    """
+    from repro.patterns.matching_order import greedy_extension_order
+
+    n = pattern.n
+    n_est = float(max(profile.num_vertices, 1))
+    width = max(2 * limit, 8)
+    # state: (order, entries at the innermost level, total cost)
+    states = [((v,), n_est, n_est) for v in range(n)]
+    for _ in range(n - 1):
+        grown = []
+        for order, cumulative, cost in states:
+            matched = set(order)
+            for v in range(n):
+                if v in matched or not (pattern.neighbors(v) & matched):
+                    continue
+                meta = LoopMeta(
+                    prefix=pattern.induced_subpattern(list(order) + [v]),
+                    constraint_degree=sum(
+                        1 for w in order if pattern.has_edge(v, w)
+                    ),
+                    label=pattern.label_of(v),
+                )
+                iterations = max(
+                    model.adjusted_iterations(meta, profile), 1e-9
+                )
+                entries = cumulative * iterations
+                grown.append((order + (v,), entries, cost + entries))
+        grown.sort(key=lambda s: s[2])
+        states = grown[:width]
+    ranked = [order for order, _entries, _cost in states]
+
+    first = max(range(n), key=pattern.degree)
+    rest = [v for v in range(n) if v != first]
+    greedy = (first,) + (
+        greedy_extension_order(pattern, [first], rest) if rest else ()
+    )
+    candidates = [greedy] + [o for o in ranked if o != greedy]
+    return candidates[:limit]
+
+
+# ----------------------------------------------------------------------
+# Decomposition plans
+# ----------------------------------------------------------------------
+
+def _decomp_specs(pattern, profile, model, constraints, options, mode):
+    """Yield ``(preliminary_cost, spec)`` pairs for all decompositions.
+
+    The preliminary cost is a closed-form spec-level estimate (no AST is
+    built); the caller pre-ranks on it and fully evaluates only the top
+    candidates.
+    """
+    for deco in all_decompositions(pattern):
+        if len(deco.shrinkages) > options.max_shrinkages:
+            continue
+        if not _constraints_fit(deco, constraints):
+            continue
+        ext_choices = [
+            _best_extension_order(
+                pattern, deco.cutting_set, sub.component, profile, model,
+                options,
+            )
+            for sub in deco.subpatterns
+        ]
+        ext = tuple(order for order, _cost, _expected in ext_choices)
+        shrinkage_variants = [True]
+        if mode == "count" and not constraints and deco.shrinkages:
+            # Count-only plans may correct invalid embeddings globally
+            # (one sub-count per quotient) instead of per cutting-set
+            # match; the cost model arbitrates.
+            shrinkage_variants.append(False)
+        per_ec_shrinkage = None
+        global_shrinkage = None
+        for vc_order in _vc_orders(pattern, deco, options):
+            vc_cost, ec_count = _vc_order_cost(
+                pattern, vc_order, profile, model
+            )
+            body = _gated_body_cost(ext_choices)
+            gate = 1.0
+            for _o, _c, expected in ext_choices:
+                gate *= min(1.0, expected)
+            plr_choices = [0]
+            if options.enable_plr:
+                plr_choices += _plr_choices(pattern, vc_order)
+            for plr_k in plr_choices:
+                for include in shrinkage_variants:
+                    if include:
+                        if per_ec_shrinkage is None:
+                            per_ec_shrinkage = _shrinkage_body_cost(
+                                deco, profile, model
+                            )
+                        prelim = vc_cost + ec_count * (
+                            body + gate * per_ec_shrinkage
+                        )
+                    else:
+                        if global_shrinkage is None:
+                            global_shrinkage = sum(
+                                _global_count_estimate(s.pattern, profile,
+                                                       model)
+                                for s in deco.shrinkages
+                            )
+                        prelim = vc_cost + ec_count * body + global_shrinkage
+                    yield prelim, DecompSpec(
+                        decomposition=deco,
+                        vc_order=vc_order,
+                        ext_orders=ext,
+                        plr_k=plr_k,
+                        constraints=constraints,
+                        include_shrinkages=include,
+                    )
+
+
+def _vc_order_cost(pattern, vc_order, profile, model) -> tuple[float, float]:
+    """(total loop cost, expected number of cutting-set matches)."""
+    matched: list[int] = []
+    cumulative = 1.0
+    cost = 0.0
+    for v in vc_order:
+        degree = sum(1 for w in matched if pattern.has_edge(v, w))
+        meta = LoopMeta(
+            prefix=pattern.induced_subpattern(matched + [v]),
+            constraint_degree=degree,
+            label=pattern.label_of(v),
+            role="vc",
+        )
+        cumulative *= max(model.adjusted_iterations(meta, profile), 1e-9)
+        cost += cumulative
+        matched.append(v)
+    return cost, cumulative
+
+
+def _gated_body_cost(ext_choices) -> float:
+    """Per-e_C cost of the guarded subpattern-count nests."""
+    body = 0.0
+    gate = 1.0
+    for _order, cost, expected in ext_choices:
+        body += gate * cost
+        gate *= min(1.0, expected)
+    return body
+
+
+def _shrinkage_body_cost(deco, profile, model) -> float:
+    """Per-e_C cost of enumerating every shrinkage quotient."""
+    from repro.patterns.matching_order import greedy_extension_order
+
+    total = 0.0
+    num_vc = len(deco.cutting_set)
+    for shrinkage in deco.shrinkages:
+        quotient = shrinkage.pattern
+        anchored = list(range(num_vc))
+        ext = [num_vc + b for b in range(len(shrinkage.blocks))]
+        order = greedy_extension_order(quotient, anchored, ext)
+        cost, _expected = _extension_order_cost_ex(
+            quotient, tuple(anchored), tuple(order), profile, model
+        )
+        total += cost
+    return total
+
+
+def _constraints_fit(deco: Decomposition, constraints) -> bool:
+    vc_set = set(deco.cutting_set)
+    scopes = [set(sub.vertices) for sub in deco.subpatterns]
+    for constraint in constraints:
+        support = set(constraint.vertices)
+        if support <= vc_set:
+            continue
+        if not any(support <= scope for scope in scopes):
+            return False
+    return True
+
+
+def _vc_orders(pattern, deco: Decomposition, options) -> list[tuple[int, ...]]:
+    """Cutting-set orders, preferring connected prefixes (cheaper loops)."""
+    def sort_key(order):
+        # Count positions whose vertex has no earlier neighbor: each one
+        # forces a full vertex scan.
+        scans = 0
+        for i, v in enumerate(order):
+            if i and not any(
+                pattern.has_edge(v, order[j]) for j in range(i)
+            ):
+                scans += 1
+        return scans
+
+    orders = sorted(
+        itertools.permutations(deco.cutting_set), key=sort_key
+    )
+    return orders[: options.max_vc_orders]
+
+
+def _plr_choices(pattern, vc_order) -> list[int]:
+    choices = []
+    for k in range(2, len(vc_order) + 1):
+        prefix = pattern.induced_subpattern(vc_order[:k])
+        if automorphism_count(prefix) > 1:
+            choices.append(k)
+    return choices
+
+
+def _best_extension_order(
+    pattern, cutting_set, component, profile, model, options
+) -> tuple[tuple[int, ...], float, float]:
+    """Cheapest extension order for one subpattern, priced standalone.
+
+    Extension costs are additive across subpatterns given a cutting-set
+    match, so this greedy factorization loses nothing.  Returns
+    ``(order, per-e_C cost, expected extension count)``.
+    """
+    orders = cap_orders(
+        extension_orders(pattern, cutting_set, component),
+        options.max_ext_orders,
+    )
+    best = None
+    for order in orders:
+        cost, expected = _extension_order_cost_ex(
+            pattern, cutting_set, order, profile, model
+        )
+        if best is None or cost < best[1]:
+            best = (order, cost, expected)
+    assert best is not None
+    return best
+
+
+def _extension_order_cost(pattern, cutting_set, order, profile, model) -> float:
+    return _extension_order_cost_ex(
+        pattern, cutting_set, order, profile, model
+    )[0]
+
+
+def _extension_order_cost_ex(
+    pattern, cutting_set, order, profile, model
+) -> tuple[float, float]:
+    """(per-entry loop cost, expected number of full extensions)."""
+    matched = list(cutting_set)
+    cumulative = 1.0
+    cost = 0.0
+    for v in order:
+        degree = sum(1 for w in matched if pattern.has_edge(v, w))
+        meta = LoopMeta(
+            prefix=pattern.induced_subpattern(matched + [v]),
+            constraint_degree=degree,
+            label=pattern.label_of(v),
+            role="extension",
+        )
+        iterations = model.adjusted_iterations(meta, profile)
+        cumulative *= max(iterations, 1e-9)
+        cost += cumulative
+        matched.append(v)
+    return cost, cumulative
+
+
+# ----------------------------------------------------------------------
+# Random implementations (Figure 11's 100-sample methodology)
+# ----------------------------------------------------------------------
+
+def random_spec(pattern: Pattern, rng, plr: bool = False) -> PlanSpec:
+    """A uniformly random decomposition/order choice (or a direct plan
+    when the pattern has no cutting set)."""
+    decos = all_decompositions(pattern)
+    if not decos:
+        orders = connected_orders(pattern)
+        order = orders[rng.randrange(len(orders))]
+        return DirectSpec(
+            pattern, order,
+            restrictions=tuple(symmetry_breaking_restrictions(pattern)),
+        )
+    deco = decos[rng.randrange(len(decos))]
+    vc_order = tuple(rng.sample(deco.cutting_set, len(deco.cutting_set)))
+    ext = []
+    for sub in deco.subpatterns:
+        orders = extension_orders(pattern, deco.cutting_set, sub.component)
+        ext.append(orders[rng.randrange(len(orders))])
+    plr_k = 0
+    if plr:
+        choices = [0] + _plr_choices(pattern, vc_order)
+        plr_k = choices[rng.randrange(len(choices))]
+    return DecompSpec(deco, vc_order, tuple(ext), plr_k=plr_k)

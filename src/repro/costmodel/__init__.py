@@ -1,0 +1,34 @@
+"""Cost models: AutoMine G(n,p), locality-aware, approximate-mining."""
+
+from repro.costmodel.approx_mining import ApproxMiningCostModel
+from repro.costmodel.automine import AutoMineCostModel
+from repro.costmodel.base import CostModel, estimate_cost
+from repro.costmodel.locality import LocalityAwareCostModel
+from repro.costmodel.profiler import CostProfile, profile_graph
+
+MODELS = {
+    "automine": AutoMineCostModel,
+    "locality": LocalityAwareCostModel,
+    "approx_mining": ApproxMiningCostModel,
+}
+
+
+def get_model(name: str) -> CostModel:
+    """Instantiate a cost model by name ('automine'|'locality'|'approx_mining')."""
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise KeyError(f"unknown cost model {name!r}; choose from {sorted(MODELS)}")
+
+
+__all__ = [
+    "ApproxMiningCostModel",
+    "AutoMineCostModel",
+    "CostModel",
+    "CostProfile",
+    "LocalityAwareCostModel",
+    "MODELS",
+    "estimate_cost",
+    "get_model",
+    "profile_graph",
+]

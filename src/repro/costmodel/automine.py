@@ -1,0 +1,26 @@
+"""AutoMine's random-graph cost model (paper section 6.1).
+
+Assumes the input is ``G(n, p)`` with ``p`` the measured connection
+probability: a loop binding a vertex with ``d`` edge constraints to
+already-matched vertices is expected to run ``n * p^d`` iterations.
+The paper demonstrates this model's poor accuracy on real graphs
+(off by ~19 orders of magnitude for 4-cliques on LiveJournal); it is
+implemented both as a baseline cost model for DecoMine (Figure 19's
+DM-Auto) and as the model inside the AutoMine baseline system.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import LoopMeta
+from repro.costmodel.base import CostModel
+from repro.costmodel.profiler import CostProfile
+
+__all__ = ["AutoMineCostModel"]
+
+
+class AutoMineCostModel(CostModel):
+    name = "automine"
+
+    def level_iterations(self, meta: LoopMeta, profile: CostProfile) -> float:
+        n = max(profile.num_vertices, 1)
+        return n * (profile.p ** meta.constraint_degree)

@@ -1,0 +1,33 @@
+"""Locality-aware cost model (paper section 6.1).
+
+A simple refinement of AutoMine's model: once a candidate vertex is
+constrained by at least one adjacency it is within pattern-diameter hops
+of every other matched vertex (pattern diameters are far below the
+``alpha = 8`` threshold), so each *additional* adjacency constraint is
+satisfied with the much larger local probability ``p_local`` instead of
+the global ``p``:
+
+    d = 0  →  n
+    d ≥ 1  →  n · p · p_local^(d-1)
+
+The paper's example: ``|N(v0) ∩ N(v1)| ≈ |N(v1)| · p_local = n·p·p_local``.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import LoopMeta
+from repro.costmodel.base import CostModel
+from repro.costmodel.profiler import CostProfile
+
+__all__ = ["LocalityAwareCostModel"]
+
+
+class LocalityAwareCostModel(CostModel):
+    name = "locality"
+
+    def level_iterations(self, meta: LoopMeta, profile: CostProfile) -> float:
+        n = max(profile.num_vertices, 1)
+        d = meta.constraint_degree
+        if d == 0:
+            return float(n)
+        return n * profile.p * (profile.p_local ** (d - 1))

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PatternError",
+    "DecompositionError",
+    "CompilationError",
+    "ConstraintError",
+    "BudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class PatternError(ReproError):
+    """Raised for invalid pattern graphs (disconnected, too large, ...)."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a requested decomposition is invalid for a pattern."""
+
+
+class CompilationError(ReproError):
+    """Raised when the compiler cannot produce a plan for a request."""
+
+
+class ConstraintError(ReproError):
+    """Raised for label constraints the system cannot decompose (§7.5)."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised by baselines that exceed their memory/time budget.
+
+    Reproduces the paper's "C: crashed (out of memory/disk space)" table
+    entries as a catchable signal instead of an actual OOM.
+    """

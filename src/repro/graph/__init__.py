@@ -1,0 +1,6 @@
+"""Graph substrate: CSR graphs, vertex-set algebra, generators, datasets."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["CSRGraph", "GraphBuilder"]

@@ -1,0 +1,101 @@
+"""Mutable graph builder and preprocessing.
+
+The paper preprocesses every dataset to "delete duplicated edges and
+self-loops" (section 8.1); :class:`GraphBuilder` performs the same cleanup
+while assembling the immutable :class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import vertex_set as vs
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphBuilder", "compact_vertex_ids"]
+
+
+class GraphBuilder:
+    """Accumulates edges and labels, then emits a clean ``CSRGraph``.
+
+    Self loops are dropped at insertion time; duplicate edges (in either
+    orientation) are dropped at :meth:`build` time.
+    """
+
+    def __init__(self, num_vertices: int, name: str = "graph") -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.num_vertices = num_vertices
+        self.name = name
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._labels: dict[int, int] = {}
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Record an undirected edge; self loops are silently ignored."""
+        if u == v:
+            return
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range [0, {self.num_vertices})")
+        if u > v:
+            u, v = v, u
+        self._src.append(u)
+        self._dst.append(v)
+
+    def add_edges(self, edges) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def set_label(self, v: int, label: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(f"vertex {v} out of range")
+        if label < 0:
+            raise ValueError("labels must be non-negative integers")
+        self._labels[v] = label
+
+    @property
+    def num_recorded_edges(self) -> int:
+        return len(self._src)
+
+    def build(self) -> CSRGraph:
+        """Deduplicate, sort and freeze into a ``CSRGraph``."""
+        n = self.num_vertices
+        if self._src:
+            pairs = np.stack(
+                [np.asarray(self._src, dtype=vs.DTYPE), np.asarray(self._dst, dtype=vs.DTYPE)],
+                axis=1,
+            )
+            pairs = np.unique(pairs, axis=0)
+            src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+            dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        else:
+            src = np.empty(0, dtype=vs.DTYPE)
+            dst = np.empty(0, dtype=vs.DTYPE)
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        labels = None
+        if self._labels:
+            labels = np.zeros(n, dtype=np.int64)
+            for v, lab in self._labels.items():
+                labels[v] = lab
+        return CSRGraph(indptr, dst, labels=labels, name=self.name)
+
+
+def compact_vertex_ids(edges) -> tuple[list[tuple[int, int]], dict[int, int]]:
+    """Relabel arbitrary vertex ids in an edge list to dense ``0..n-1`` ids.
+
+    Returns the relabeled edge list and the ``original -> dense`` mapping.
+    Used by the SNAP edge-list loader, whose files frequently contain sparse
+    ids.
+    """
+    mapping: dict[int, int] = {}
+    out = []
+    for u, v in edges:
+        for w in (u, v):
+            if w not in mapping:
+                mapping[w] = len(mapping)
+        out.append((mapping[u], mapping[v]))
+    return out, mapping

@@ -1,0 +1,90 @@
+"""Graph loaders and writers.
+
+Two on-disk formats are supported:
+
+* **SNAP edge list** — one ``u v`` pair per line, ``#`` comments ignored.
+  This is the format of the paper's datasets (Table 1), so real SNAP files
+  drop into the benchmark harness unchanged.
+* **Labeled graph** — the format popularized by the GraMi/MiCo datasets:
+  ``v <id> <label>`` vertex lines followed by ``e <u> <v>`` edge lines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graph.builder import GraphBuilder, compact_vertex_ids
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_labeled_graph",
+    "save_labeled_graph",
+]
+
+
+def load_edge_list(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Load a SNAP-style whitespace-separated edge list.
+
+    Vertex ids may be arbitrary non-negative integers; they are compacted
+    to dense ids.  Duplicate edges and self loops are removed.
+    """
+    raw_edges: list[tuple[int, int]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            raw_edges.append((int(parts[0]), int(parts[1])))
+    edges, mapping = compact_vertex_ids(raw_edges)
+    builder = GraphBuilder(len(mapping), name=name or os.path.basename(str(path)))
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph as a SNAP-style edge list (each edge once, ``u < v``)."""
+    with open(path, "w") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def load_labeled_graph(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Load a GraMi-style labeled graph (``v id label`` / ``e u v`` lines)."""
+    vertices: dict[int, int] = {}
+    raw_edges: list[tuple[int, int]] = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts or parts[0] in ("#", "t"):
+                continue
+            if parts[0] == "v":
+                vertices[int(parts[1])] = int(parts[2])
+            elif parts[0] == "e":
+                raw_edges.append((int(parts[1]), int(parts[2])))
+            else:
+                raise ValueError(f"malformed line: {line!r}")
+    n = (max(vertices) + 1) if vertices else 0
+    builder = GraphBuilder(n, name=name or os.path.basename(str(path)))
+    builder.add_edges(raw_edges)
+    for v, lab in vertices.items():
+        builder.set_label(v, lab)
+    return builder.build()
+
+
+def save_labeled_graph(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a labeled graph in the GraMi-style format."""
+    if not graph.is_labeled:
+        raise ValueError("graph has no labels; use save_edge_list instead")
+    with open(path, "w") as handle:
+        handle.write(f"t # {graph.name}\n")
+        for v in range(graph.num_vertices):
+            handle.write(f"v {v} {graph.label_of(v)}\n")
+        for u, v in graph.edges():
+            handle.write(f"e {u} {v}\n")

@@ -1,0 +1,148 @@
+"""Sorted-array vertex set algebra.
+
+Every vertex set handled by the runtime is a strictly increasing
+one-dimensional ``numpy`` array of vertex ids (``int64``).  The operations in
+this module are exactly the vertex-set operation nodes the DecoMine AST
+supports (paper section 7.1): intersection, subtraction, copy assignment,
+bound trimming and neighbor-set loading (the latter lives on
+:class:`repro.graph.csr.CSRGraph`).
+
+All operations are non-destructive: inputs are never mutated, outputs may
+share memory with inputs (slices) and must be treated as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EMPTY",
+    "as_vertex_set",
+    "intersect",
+    "subtract",
+    "exclude",
+    "trim_below",
+    "trim_above",
+    "contains",
+    "intersect_size",
+    "subtract_size",
+    "union",
+]
+
+DTYPE = np.int64
+
+#: The canonical empty vertex set.  Read-only.
+EMPTY = np.empty(0, dtype=DTYPE)
+EMPTY.setflags(write=False)
+
+
+def as_vertex_set(values) -> np.ndarray:
+    """Build a vertex set from an arbitrary iterable of vertex ids.
+
+    Duplicates are removed and the result is sorted.  Use this at API
+    boundaries; internal code assumes its inputs are already valid sets.
+    """
+    arr = np.unique(np.asarray(list(values), dtype=DTYPE))
+    return arr
+
+
+def _membership_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``a`` marking elements that are also in ``b``.
+
+    Uses binary search into the larger operand, which beats the
+    concatenate-and-sort strategy of ``np.intersect1d`` for the skewed
+    operand sizes typical of neighbor intersections.
+    """
+    if a.size == 0 or b.size == 0:
+        return np.zeros(a.size, dtype=bool)
+    idx = np.searchsorted(b, a)
+    idx[idx == b.size] = b.size - 1
+    return b[idx] == a
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set intersection of two sorted vertex sets."""
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        return EMPTY
+    return a[_membership_mask(a, b)]
+
+
+def intersect_size(a: np.ndarray, b: np.ndarray) -> int:
+    """``len(intersect(a, b))`` without materializing the result."""
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        return 0
+    return int(np.count_nonzero(_membership_mask(a, b)))
+
+
+def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set difference ``a - b`` of two sorted vertex sets."""
+    if a.size == 0:
+        return EMPTY
+    if b.size == 0:
+        return a
+    return a[~_membership_mask(a, b)]
+
+
+def subtract_size(a: np.ndarray, b: np.ndarray) -> int:
+    """``len(subtract(a, b))`` without materializing the result."""
+    if a.size == 0:
+        return 0
+    if b.size == 0:
+        return int(a.size)
+    return int(a.size - np.count_nonzero(_membership_mask(a, b)))
+
+
+def exclude(a: np.ndarray, *vertices: int) -> np.ndarray:
+    """Remove specific vertex ids from a sorted vertex set.
+
+    This implements the injectivity constraints of the enumeration loops:
+    a candidate vertex must differ from every already-matched vertex.
+    One binary search per excluded vertex; when none is present the input
+    is returned unchanged (zero copies) — the common case, since matched
+    vertices are usually outside the candidate neighborhood.
+    """
+    if a.size == 0 or not vertices:
+        return a
+    mask = None
+    for v in vertices:
+        idx = int(np.searchsorted(a, v))
+        if idx < a.size and a[idx] == v:
+            if mask is None:
+                mask = np.ones(a.size, dtype=bool)
+            mask[idx] = False
+    if mask is None:
+        return a
+    return a[mask]
+
+
+def trim_below(a: np.ndarray, bound: int) -> np.ndarray:
+    """Keep only elements strictly smaller than ``bound``.
+
+    This is the trimming operation used to realize symmetry-breaking
+    restrictions such as ``v2 < v1``.
+    """
+    return a[: np.searchsorted(a, bound, side="left")]
+
+
+def trim_above(a: np.ndarray, bound: int) -> np.ndarray:
+    """Keep only elements strictly greater than ``bound``."""
+    return a[np.searchsorted(a, bound, side="right"):]
+
+
+def contains(a: np.ndarray, v: int) -> bool:
+    """Membership test on a sorted vertex set."""
+    idx = np.searchsorted(a, v)
+    return bool(idx < a.size and a[idx] == v)
+
+
+def union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set union (used by the builder and tests, not by hot loops)."""
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a
+    return np.union1d(a, b)

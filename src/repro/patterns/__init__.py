@@ -1,0 +1,21 @@
+"""Pattern toolkit: pattern graphs, isomorphism, decomposition, catalogs."""
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.decomposition import (
+    Decomposition,
+    ShrinkagePattern,
+    Subpattern,
+    all_decompositions,
+    cutting_set_candidates,
+    decompose,
+)
+
+__all__ = [
+    "Pattern",
+    "Decomposition",
+    "Subpattern",
+    "ShrinkagePattern",
+    "decompose",
+    "all_decompositions",
+    "cutting_set_candidates",
+]

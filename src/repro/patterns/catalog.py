@@ -1,0 +1,162 @@
+"""Named pattern constructors and the paper's evaluation patterns.
+
+Includes all patterns the paper's experiments mention by name (chains,
+cycles, cliques, stars, pseudo-cliques, the Figure 5 tailed triangle) and
+documented stand-ins for the patterns only shown as figures (the Figure 6
+running example and the Figure 11 cost-model patterns p1-p5, whose exact
+topology the text never specifies — see DESIGN.md section 1).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PatternError
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "chain",
+    "cycle",
+    "clique",
+    "star",
+    "triangle",
+    "tailed_triangle",
+    "diamond",
+    "house",
+    "gem",
+    "bowtie",
+    "net",
+    "clique_minus_edge",
+    "pseudo_clique_patterns",
+    "figure6_pattern",
+    "figure11_patterns",
+]
+
+
+def chain(k: int) -> Pattern:
+    """The k-vertex path (the paper's "k-chain")."""
+    if k < 2:
+        raise PatternError("chain needs at least 2 vertices")
+    return Pattern(k, [(i, i + 1) for i in range(k - 1)], name=f"{k}-chain")
+
+
+def cycle(k: int) -> Pattern:
+    """The k-vertex cycle, the Table 7 scalability pattern."""
+    if k < 3:
+        raise PatternError("cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % k) for i in range(k)]
+    return Pattern(k, edges, name=f"{k}-cycle")
+
+
+def clique(k: int) -> Pattern:
+    if k < 1:
+        raise PatternError("clique needs at least 1 vertex")
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    return Pattern(k, edges, name=f"{k}-clique")
+
+
+def star(k: int) -> Pattern:
+    """Star with ``k`` leaves (``k + 1`` vertices), center is vertex 0."""
+    if k < 1:
+        raise PatternError("star needs at least 1 leaf")
+    return Pattern(k + 1, [(0, i) for i in range(1, k + 1)], name=f"{k}-star")
+
+
+def triangle() -> Pattern:
+    return clique(3)
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle with a pendant vertex (Figure 5's computation-reuse mate)."""
+    return Pattern(4, [(0, 1), (0, 2), (1, 2), (2, 3)], name="tailed-triangle")
+
+
+def diamond() -> Pattern:
+    """4-clique minus one edge."""
+    return Pattern(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)], name="diamond")
+
+
+def house() -> Pattern:
+    """5-cycle with one chord (triangle on top of a square)."""
+    return Pattern(
+        5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)], name="house"
+    )
+
+
+def gem() -> Pattern:
+    """4-path plus an apex adjacent to all path vertices."""
+    return Pattern(
+        5,
+        [(0, 1), (1, 2), (2, 3), (4, 0), (4, 1), (4, 2), (4, 3)],
+        name="gem",
+    )
+
+
+def bowtie() -> Pattern:
+    """Two triangles sharing one vertex."""
+    return Pattern(
+        5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)], name="bowtie"
+    )
+
+
+def net() -> Pattern:
+    """Triangle with one pendant vertex on each corner."""
+    return Pattern(
+        6,
+        [(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (2, 5)],
+        name="net",
+    )
+
+
+def clique_minus_edge(k: int) -> Pattern:
+    """k-clique with one edge removed — the other k-pseudo-clique shape."""
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    edges.remove((0, 1))
+    return Pattern(k, edges, name=f"{k}-clique-minus-edge")
+
+
+def pseudo_clique_patterns(k: int) -> list[Pattern]:
+    """All k-vertex pseudo-cliques for the paper's ``k_missing = 1``.
+
+    A pseudo clique has at least ``k(k-1)/2 - 1`` edges, so the set is the
+    clique itself plus the clique minus one edge (one isomorphism class).
+    """
+    if k < 3:
+        raise PatternError("pseudo cliques need at least 3 vertices")
+    return [clique(k), clique_minus_edge(k)]
+
+
+def figure6_pattern() -> Pattern:
+    """Stand-in for the Figure 6 running-example pattern.
+
+    The paper only draws this 5-vertex pattern; this reconstruction is
+    chosen so that the figure's stated decomposition exists: removing the
+    cutting set {A, B, D} (vertices 0, 1, 3) isolates C (2) and E (4),
+    giving exactly the subpatterns p1 = (A,B,D,E) and p2 = (A,B,C,D).
+    """
+    # A=0, B=1, C=2, D=3, E=4
+    return Pattern(
+        5,
+        [(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (3, 4)],
+        name="figure6",
+    )
+
+
+def figure11_patterns() -> dict[str, Pattern]:
+    """Stand-ins for the Figure 11(a) cost-model evaluation patterns.
+
+    The figure shows five unlabeled drawings (p1-p5) without a textual
+    specification.  We use five non-clique, decomposable patterns of the
+    sizes the figure suggests (three size-5, two size-6); the cost-model
+    experiments only require such patterns, not one exact topology.
+    """
+    p4 = Pattern(
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        name="p4",
+    )  # 6-cycle with a long chord
+    return {
+        "p1": Pattern(5, house().edge_set, name="p1"),
+        "p2": Pattern(5, gem().edge_set, name="p2"),
+        "p3": Pattern(5, bowtie().edge_set, name="p3"),
+        "p4": p4,
+        "p5": Pattern(6, net().edge_set, name="p5"),
+    }

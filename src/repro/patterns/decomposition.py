@@ -1,0 +1,251 @@
+"""Pattern decomposition: cutting sets, subpatterns, shrinkage patterns.
+
+This implements the combinatorial side of the paper's sections 3.1 and 5:
+
+* **Cutting sets** — subsets ``VC`` of pattern vertices whose removal breaks
+  the pattern into ``K >= 2`` connected components, found by the paper's
+  brute force over all ``2^n`` subsets (section 7.3).
+* **Subpatterns** — ``VC`` merged with each component.
+* **Shrinkage patterns** — the "invalid pattern" quotients obtained by
+  identifying at least two vertices from *different* components.  Every
+  invalid joint extension (the join of per-subpattern embeddings that
+  collide outside ``VC``) corresponds to exactly one shrinkage pattern and
+  exactly one injective embedding of it, so the generalized algorithm
+  (Algorithm 1) subtracts each shrinkage embedding exactly once.
+
+Two structural facts the code relies on (asserted in tests):
+
+* identified vertices are never adjacent in the pattern — ``VC`` separates
+  their components — so shrinkage quotients are always simple graphs;
+* labeled vertices can only be identified when their labels agree, so
+  incompatible partitions are skipped outright.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.exceptions import DecompositionError
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "Subpattern",
+    "ShrinkagePattern",
+    "Decomposition",
+    "cutting_set_candidates",
+    "decompose",
+    "all_decompositions",
+]
+
+
+@dataclass(frozen=True)
+class Subpattern:
+    """One subpattern ``p_i = VC ∪ component_i``.
+
+    ``vertices`` lists the original pattern vertex ids in the local
+    numbering of :attr:`pattern`: the cutting set first (in cutting-set
+    order), then the component vertices in ascending original id.
+    """
+
+    vertices: tuple[int, ...]
+    component: tuple[int, ...]
+    pattern: Pattern
+
+    @property
+    def extension_size(self) -> int:
+        return len(self.component)
+
+
+@dataclass(frozen=True)
+class ShrinkagePattern:
+    """A quotient of the whole pattern by cross-component identifications.
+
+    ``blocks`` are the groups of original extension vertices merged into a
+    single quotient vertex (singletons included).  ``pattern`` numbers the
+    cutting set first, then one vertex per block (in :attr:`blocks` order).
+    ``projections[i]`` maps, for subpattern ``i``, each of its component
+    vertices (ascending original id) to the index of the quotient
+    *extension* vertex carrying it — this is what
+    ``extract_subpattern_embedding`` uses at runtime.
+    """
+
+    blocks: tuple[tuple[int, ...], ...]
+    pattern: Pattern
+    projections: tuple[tuple[int, ...], ...]
+
+    @property
+    def extension_size(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A full decomposition choice for a pattern."""
+
+    pattern: Pattern
+    cutting_set: tuple[int, ...]
+    subpatterns: tuple[Subpattern, ...]
+    shrinkages: tuple[ShrinkagePattern, ...]
+
+    @property
+    def num_subpatterns(self) -> int:
+        return len(self.subpatterns)
+
+    def describe(self) -> str:
+        parts = [f"VC={self.cutting_set}"]
+        for i, sub in enumerate(self.subpatterns):
+            parts.append(f"p{i + 1}={sub.vertices}")
+        parts.append(f"{len(self.shrinkages)} shrinkage(s)")
+        return ", ".join(parts)
+
+
+@lru_cache(maxsize=None)
+def cutting_set_candidates(pattern: Pattern) -> tuple[tuple[int, ...], ...]:
+    """All vertex cutting sets, via the paper's 2^n brute force.
+
+    A candidate is any non-empty proper subset whose removal leaves at
+    least two connected components.  Cliques have none (the paper's noted
+    exception).  Ordered smallest-first so the search tries cheap
+    decompositions early.
+    """
+    n = pattern.n
+    candidates = []
+    for size in range(1, n - 1):
+        for subset in itertools.combinations(range(n), size):
+            if len(pattern.connected_components(subset)) >= 2:
+                candidates.append(subset)
+    return tuple(candidates)
+
+
+def decompose(pattern: Pattern, cutting_set: tuple[int, ...]) -> Decomposition:
+    """Build the decomposition of ``pattern`` induced by ``cutting_set``."""
+    if not pattern.is_connected:
+        raise DecompositionError("pattern must be connected")
+    vc = tuple(cutting_set)
+    if len(set(vc)) != len(vc) or not all(0 <= v < pattern.n for v in vc):
+        raise DecompositionError(f"invalid cutting set {cutting_set}")
+    components = pattern.connected_components(vc)
+    if len(components) < 2:
+        raise DecompositionError(
+            f"{cutting_set} does not disconnect the pattern "
+            f"({len(components)} component(s) remain)"
+        )
+    # Smallest components first: their subpatterns are the cheapest and
+    # most selective counts, so the IfPositive guard nesting (Algorithm 1
+    # as built by the compiler) filters dead cutting-set matches earliest.
+    components = sorted(components, key=lambda c: (len(c), c))
+    subpatterns = tuple(
+        _build_subpattern(pattern, vc, component) for component in components
+    )
+    shrinkages = tuple(_build_shrinkages(pattern, vc, components))
+    return Decomposition(pattern, vc, subpatterns, shrinkages)
+
+
+def all_decompositions(pattern: Pattern) -> list[Decomposition]:
+    """Every decomposition of the pattern (the compiler's search space)."""
+    return [decompose(pattern, vc) for vc in cutting_set_candidates(pattern)]
+
+
+def _build_subpattern(
+    pattern: Pattern, vc: tuple[int, ...], component: tuple[int, ...]
+) -> Subpattern:
+    vertices = vc + component
+    local = pattern.induced_subpattern(vertices)
+    return Subpattern(vertices=vertices, component=component, pattern=local)
+
+
+def _compatible(pattern: Pattern, u: int, v: int) -> bool:
+    """Can extension vertices u and v be identified?  (labels must agree)"""
+    if pattern.labels is None:
+        return True
+    return pattern.labels[u] == pattern.labels[v]
+
+
+def _build_shrinkages(
+    pattern: Pattern,
+    vc: tuple[int, ...],
+    components: list[tuple[int, ...]],
+) -> list[ShrinkagePattern]:
+    component_of = {}
+    for index, component in enumerate(components):
+        for v in component:
+            component_of[v] = index
+    extension_vertices = sorted(component_of)
+
+    shrinkages = []
+    for blocks in _partitions(pattern, extension_vertices, component_of):
+        if all(len(block) == 1 for block in blocks):
+            continue  # the trivial partition is the valid case, not invalid
+        shrinkages.append(_quotient(pattern, vc, components, blocks))
+    return shrinkages
+
+
+def _partitions(pattern, vertices, component_of):
+    """Partitions of the extension vertices into identification blocks.
+
+    Constraint: a block holds at most one vertex per component (vertices
+    of the same component are matched injectively already) and all its
+    members must carry the same label.
+    """
+
+    def extend(index: int, blocks: list[list[int]]):
+        if index == len(vertices):
+            yield tuple(tuple(block) for block in blocks)
+            return
+        v = vertices[index]
+        for block in blocks:
+            if any(component_of[w] == component_of[v] for w in block):
+                continue
+            if not all(_compatible(pattern, v, w) for w in block):
+                continue
+            block.append(v)
+            yield from extend(index + 1, blocks)
+            block.pop()
+        blocks.append([v])
+        yield from extend(index + 1, blocks)
+        blocks.pop()
+
+    yield from extend(0, [])
+
+
+def _quotient(
+    pattern: Pattern,
+    vc: tuple[int, ...],
+    components: list[tuple[int, ...]],
+    blocks: tuple[tuple[int, ...], ...],
+) -> ShrinkagePattern:
+    num_vc = len(vc)
+    vertex_to_quotient: dict[int, int] = {v: i for i, v in enumerate(vc)}
+    for block_index, block in enumerate(blocks):
+        for v in block:
+            vertex_to_quotient[v] = num_vc + block_index
+
+    edges = set()
+    for u, v in pattern.edge_set:
+        qu, qv = vertex_to_quotient[u], vertex_to_quotient[v]
+        if qu == qv:
+            raise DecompositionError(
+                "identified adjacent vertices - cutting set does not separate"
+            )
+        edges.add((min(qu, qv), max(qu, qv)))
+
+    labels = None
+    if pattern.labels is not None:
+        labels = [0] * (num_vc + len(blocks))
+        for i, v in enumerate(vc):
+            labels[i] = pattern.labels[v]
+        for block_index, block in enumerate(blocks):
+            labels[num_vc + block_index] = pattern.labels[block[0]]
+
+    quotient = Pattern(num_vc + len(blocks), edges, labels=labels)
+
+    projections = []
+    for component in components:
+        projections.append(
+            tuple(vertex_to_quotient[v] - num_vc for v in component)
+        )
+    return ShrinkagePattern(
+        blocks=blocks, pattern=quotient, projections=tuple(projections)
+    )

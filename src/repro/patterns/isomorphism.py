@@ -1,0 +1,222 @@
+"""Isomorphism machinery for small patterns.
+
+Pattern graphs are tiny (at most :data:`~repro.patterns.pattern.MAX_PATTERN_SIZE`
+vertices), so exact permutation search — pruned by Weisfeiler-Leman color
+refinement — is both simple and fast.  This module provides the three
+primitives everything else builds on:
+
+* canonical codes (for deduplicating pattern sets, e.g. motif generation),
+* automorphism groups (for symmetry breaking and multiplicity),
+* explicit isomorphism mappings (for the pattern-oblivious baselines).
+
+All results are memoized per pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "wl_colors",
+    "canonical_code",
+    "canonical_permutation",
+    "canonical_form",
+    "are_isomorphic",
+    "find_isomorphism",
+    "automorphisms",
+    "automorphism_count",
+    "orbits",
+]
+
+
+@lru_cache(maxsize=None)
+def wl_colors(pattern: Pattern) -> tuple:
+    """1-dimensional Weisfeiler-Leman vertex colors (hashable, invariant).
+
+    Colors start from ``(label, degree)`` and are refined by sorted
+    neighbor-color multisets until the partition stabilizes.
+    """
+    n = pattern.n
+    colors: list = [
+        (pattern.label_of(v) if pattern.is_labeled else -1, pattern.degree(v))
+        for v in range(n)
+    ]
+    for _ in range(n):
+        refined = [
+            (colors[v], tuple(sorted(colors[w] for w in pattern.neighbors(v))))
+            for v in range(n)
+        ]
+        if _partition_of(refined) == _partition_of(colors):
+            break
+        colors = refined
+    return tuple(colors)
+
+
+def _partition_of(colors: list) -> tuple:
+    groups: dict = {}
+    for v, c in enumerate(colors):
+        groups.setdefault(c, []).append(v)
+    return tuple(sorted(tuple(g) for g in groups.values()))
+
+
+def _color_classes(pattern: Pattern) -> list[list[int]]:
+    """Vertex classes ordered by a canonical (graph-independent) color key."""
+    colors = wl_colors(pattern)
+    groups: dict = {}
+    for v, c in enumerate(colors):
+        groups.setdefault(c, []).append(v)
+    return [groups[c] for c in sorted(groups, key=repr)]
+
+
+def _candidate_orderings(pattern: Pattern):
+    """All vertex orderings consistent with the WL color classes.
+
+    Isomorphic graphs produce class-wise identical candidate sets, so the
+    minimum encoding over candidates is a true canonical form.
+    """
+    classes = _color_classes(pattern)
+    for arrangement in itertools.product(
+        *(itertools.permutations(cls) for cls in classes)
+    ):
+        yield tuple(itertools.chain.from_iterable(arrangement))
+
+
+def _encode(pattern: Pattern, ordering: tuple[int, ...]) -> tuple:
+    """Encode a pattern under a vertex ordering as a comparable tuple."""
+    position = {v: i for i, v in enumerate(ordering)}
+    bits = 0
+    for u, v in pattern.edge_set:
+        i, j = position[u], position[v]
+        if i > j:
+            i, j = j, i
+        bits |= 1 << (i * pattern.n + j)
+    labels = (
+        tuple(pattern.labels[v] for v in ordering) if pattern.is_labeled else None
+    )
+    return (pattern.n, labels, bits)
+
+
+@lru_cache(maxsize=None)
+def _canonical(pattern: Pattern) -> tuple[tuple, tuple[int, ...]]:
+    best_code = None
+    best_ordering = None
+    for ordering in _candidate_orderings(pattern):
+        code = _encode(pattern, ordering)
+        if best_code is None or code < best_code:
+            best_code = code
+            best_ordering = ordering
+    assert best_code is not None and best_ordering is not None
+    return best_code, best_ordering
+
+
+def canonical_code(pattern: Pattern) -> tuple:
+    """A hashable code equal for exactly the isomorphic (label-preserving)
+    patterns."""
+    return _canonical(pattern)[0]
+
+
+def canonical_permutation(pattern: Pattern) -> tuple[int, ...]:
+    """Permutation ``perm`` with ``perm[v] = canonical position of v``."""
+    ordering = _canonical(pattern)[1]
+    perm = [0] * pattern.n
+    for position, v in enumerate(ordering):
+        perm[v] = position
+    return tuple(perm)
+
+
+def canonical_form(pattern: Pattern) -> Pattern:
+    """The canonical representative of the pattern's isomorphism class."""
+    return pattern.relabeled(canonical_permutation(pattern))
+
+
+def are_isomorphic(a: Pattern, b: Pattern) -> bool:
+    if a.n != b.n or a.num_edges != b.num_edges:
+        return False
+    return canonical_code(a) == canonical_code(b)
+
+
+def find_isomorphism(a: Pattern, b: Pattern) -> tuple[int, ...] | None:
+    """A mapping ``m`` with ``m[v_of_a] = v_of_b``, or ``None``.
+
+    Computed by routing both patterns through their canonical orderings.
+    """
+    if not are_isomorphic(a, b):
+        return None
+    perm_a = canonical_permutation(a)
+    perm_b = canonical_permutation(b)
+    inverse_b = [0] * b.n
+    for v, position in enumerate(perm_b):
+        inverse_b[position] = v
+    return tuple(inverse_b[perm_a[v]] for v in range(a.n))
+
+
+@lru_cache(maxsize=None)
+def automorphisms(pattern: Pattern) -> tuple[tuple[int, ...], ...]:
+    """All automorphisms as permutations (``perm[v]`` is the image of ``v``)."""
+    colors = wl_colors(pattern)
+    n = pattern.n
+    by_color: dict = {}
+    for v in range(n):
+        by_color.setdefault(colors[v], []).append(v)
+    result = []
+
+    def backtrack(v: int, mapping: list[int], used: set[int]) -> None:
+        if v == n:
+            result.append(tuple(mapping))
+            return
+        for candidate in by_color[colors[v]]:
+            if candidate in used:
+                continue
+            ok = True
+            for w in pattern.neighbors(v):
+                if w < v and not pattern.has_edge(mapping[w], candidate):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # Non-edges must also be preserved (bijectivity + edge count
+            # make this automatic at the end, but checking prunes earlier).
+            for w in range(v):
+                if w not in pattern.neighbors(v) and pattern.has_edge(
+                    mapping[w], candidate
+                ):
+                    ok = False
+                    break
+            if ok:
+                mapping.append(candidate)
+                used.add(candidate)
+                backtrack(v + 1, mapping, used)
+                mapping.pop()
+                used.discard(candidate)
+
+    backtrack(0, [], set())
+    return tuple(result)
+
+
+def automorphism_count(pattern: Pattern) -> int:
+    """|Aut(pattern)| — the multiplicity the final counts are divided by."""
+    return len(automorphisms(pattern))
+
+
+def orbits(pattern: Pattern) -> list[frozenset[int]]:
+    """Vertex orbits under the automorphism group."""
+    parent = list(range(pattern.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for perm in automorphisms(pattern):
+        for v, image in enumerate(perm):
+            ra, rb = find(v), find(image)
+            if ra != rb:
+                parent[ra] = rb
+    groups: dict[int, set[int]] = {}
+    for v in range(pattern.n):
+        groups.setdefault(find(v), set()).add(v)
+    return [frozenset(g) for g in groups.values()]

@@ -1,0 +1,104 @@
+"""Matching-order enumeration and validation.
+
+A matching order is the sequence in which pattern vertices are bound by the
+nested enumeration loops (paper section 2.2).  Vertex-set-based matching
+requires every vertex after the first to be adjacent to an already-matched
+vertex, otherwise the loop would have to scan all of ``V``; the compiler
+enumerates only such *connected* orders for extensions, while cutting-set
+orders are unrestricted (a disconnected cutting set legitimately scans
+``V`` — the cost model charges for it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "is_connected_order",
+    "connected_orders",
+    "extension_orders",
+    "greedy_extension_order",
+    "cap_orders",
+]
+
+
+def is_connected_order(pattern: Pattern, order: Sequence[int]) -> bool:
+    """True if each vertex after the first touches an earlier vertex."""
+    matched: set[int] = set()
+    for v in order:
+        if matched and not (pattern.neighbors(v) & matched):
+            return False
+        matched.add(v)
+    return True
+
+
+def connected_orders(pattern: Pattern) -> list[tuple[int, ...]]:
+    """All connected matching orders over the whole pattern."""
+    return [
+        order
+        for order in itertools.permutations(range(pattern.n))
+        if is_connected_order(pattern, order)
+    ]
+
+
+def extension_orders(
+    pattern: Pattern, anchored: Sequence[int], extension: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Orders of ``extension`` vertices, each adjacent to ``anchored`` or an
+    earlier extension vertex (all ids local to ``pattern``).
+
+    This enumerates the orders ``o_i`` (and ``o_si``) of Algorithm 1: the
+    cutting set is already matched, and every extension step must be
+    supported by at least one adjacency for set-based candidate generation.
+    """
+    anchor_set = set(anchored)
+    orders = []
+    for order in itertools.permutations(extension):
+        matched = set(anchor_set)
+        ok = True
+        for v in order:
+            if not (pattern.neighbors(v) & matched):
+                ok = False
+                break
+            matched.add(v)
+        if ok:
+            orders.append(order)
+    return orders
+
+
+def greedy_extension_order(
+    pattern: Pattern, anchored: Sequence[int], extension: Sequence[int]
+) -> tuple[int, ...]:
+    """A single valid extension order, preferring highly-constrained
+    vertices first (more adjacent matched vertices ⇒ smaller candidate
+    sets).  Used where exhaustive order search is not warranted (shrinkage
+    patterns)."""
+    matched = set(anchored)
+    remaining = list(extension)
+    order: list[int] = []
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda v: (len(pattern.neighbors(v) & matched), -v),
+        )
+        if not pattern.neighbors(best) & matched:
+            raise ValueError(
+                f"no valid extension order: {best} has no matched neighbor"
+            )
+        order.append(best)
+        remaining.remove(best)
+        matched.add(best)
+    return tuple(order)
+
+
+def cap_orders(orders: Iterable[tuple[int, ...]], limit: int) -> list[tuple[int, ...]]:
+    """Deterministically cap an order list to bound compile time."""
+    capped = []
+    for order in orders:
+        capped.append(order)
+        if len(capped) >= limit:
+            break
+    return capped

@@ -1,0 +1,88 @@
+"""Symmetry-breaking restriction generation.
+
+Implements the Grochow-Kellis style construction used by Peregrine and
+GraphZero (paper section 2.2, optimization 1): starting from the pattern's
+automorphism group, emit a set of ``match[a] < match[b]`` restrictions such
+that exactly one automorphic ordering of every embedding survives.
+
+GraphPi's observation — multiple valid restriction sets exist and their
+performance differs — is supported via :func:`restriction_set_candidates`,
+which derives one set per pivot ordering; its cost model picks among them.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.isomorphism import automorphisms
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "symmetry_breaking_restrictions",
+    "restriction_set_candidates",
+    "count_satisfying_orderings",
+]
+
+
+def symmetry_breaking_restrictions(
+    pattern: Pattern, pivot_order: tuple[int, ...] | None = None
+) -> list[tuple[int, int]]:
+    """Restrictions ``(a, b)`` meaning *vertex matched to a* < *matched to b*.
+
+    The construction walks pattern vertices in ``pivot_order`` (default
+    ``0..n-1``); whenever the current vertex has a non-trivial orbit under
+    the remaining group, it is pinned as the orbit minimum and the group is
+    restricted to its stabilizer.  The surviving orderings of any embedding
+    number exactly one.
+    """
+    order = pivot_order if pivot_order is not None else tuple(range(pattern.n))
+    group = list(automorphisms(pattern))
+    restrictions: list[tuple[int, int]] = []
+    for v in order:
+        orbit = {perm[v] for perm in group}
+        if len(orbit) > 1:
+            for w in sorted(orbit):
+                if w != v:
+                    restrictions.append((v, w))
+            group = [perm for perm in group if perm[v] == v]
+    return restrictions
+
+
+def restriction_set_candidates(pattern: Pattern, limit: int = 8) -> list[list[tuple[int, int]]]:
+    """Several valid restriction sets, one per pivot ordering.
+
+    Deduplicated; at most ``limit`` are returned.  GraphPi's cost model
+    chooses among these (paper section 2.2).
+    """
+    import itertools
+
+    seen = set()
+    candidates = []
+    for order in itertools.permutations(range(pattern.n)):
+        restrictions = symmetry_breaking_restrictions(pattern, order)
+        key = tuple(sorted(restrictions))
+        if key not in seen:
+            seen.add(key)
+            candidates.append(restrictions)
+            if len(candidates) >= limit:
+                break
+    return candidates
+
+
+def count_satisfying_orderings(
+    pattern: Pattern,
+    restrictions: list[tuple[int, int]],
+    values: tuple[int, ...] | None = None,
+) -> int:
+    """Number of automorphic variants of one embedding that survive.
+
+    ``values`` assigns a distinct graph-vertex id to each pattern vertex
+    (default: the identity).  A valid restriction set yields exactly 1 for
+    *every* distinct-value assignment; the property tests exercise this
+    with random values.
+    """
+    vals = values if values is not None else tuple(range(pattern.n))
+    satisfying = 0
+    for perm in automorphisms(pattern):
+        # The automorphic variant maps pattern vertex v to values[perm[v]].
+        if all(vals[perm[a]] < vals[perm[b]] for a, b in restrictions):
+            satisfying += 1
+    return satisfying

@@ -1,0 +1,17 @@
+"""Runtime: execution engine, contexts, hash tables, partial embeddings."""
+
+from repro.runtime.context import ExecutionContext
+from repro.runtime.engine import ExecutionResult, chunk_ranges, execute_plan
+from repro.runtime.hashtable import NaiveTable, ShrinkageTable
+from repro.runtime.partial_embedding import PartialEmbedding, materialize
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionResult",
+    "chunk_ranges",
+    "execute_plan",
+    "NaiveTable",
+    "ShrinkageTable",
+    "PartialEmbedding",
+    "materialize",
+]

@@ -1,0 +1,66 @@
+"""Execution context shared by the interpreter and generated code.
+
+Bundles everything a plan needs beyond the graph itself: the shrinkage
+hash tables, the user predicates for label constraints, the UDF sink for
+partial embeddings, and the accumulator storage merged across parallel
+chunks (paper section 7.4's privatization).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.graph import vertex_set as vs
+from repro.runtime.hashtable import NaiveTable, ShrinkageTable
+
+__all__ = ["ExecutionContext"]
+
+EmitFn = Callable[[int, tuple[int, ...], int], None]
+
+
+class ExecutionContext:
+    """Mutable per-execution state.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of shrinkage-discount tables (one per subpattern in emit
+        mode).
+    predicates:
+        Callables indexed by ``IfPred.pred``; each receives the bound
+        graph vertices of its constraint fragment.
+    emit:
+        Sink for ``EmitPartial`` — receives ``(subpattern_index,
+        graph_vertices, count)``.
+    naive_tables:
+        Use the physically-clearing table (the ablation baseline of the
+        section-5 O(1)-clear trick).
+    """
+
+    def __init__(
+        self,
+        num_tables: int = 0,
+        predicates: Sequence[Callable] = (),
+        emit: EmitFn | None = None,
+        naive_tables: bool = False,
+    ) -> None:
+        table_cls = NaiveTable if naive_tables else ShrinkageTable
+        self.tables = [table_cls() for _ in range(num_tables)]
+        self.predicates = list(predicates)
+        self.emit = emit if emit is not None else _ignore_emit
+        self.accumulators: dict[str, int] = {}
+        # Set-operation namespace used by generated code.
+        self.vs = vs
+
+    def merge_accumulators(self, partial: dict[str, int]) -> None:
+        """Fold one chunk's privatized accumulators into the global ones.
+
+        Valid because all accumulator updates are associative and
+        commutative (paper section 7.1).
+        """
+        for name, value in partial.items():
+            self.accumulators[name] = self.accumulators.get(name, 0) + value
+
+
+def _ignore_emit(index: int, vertices: tuple[int, ...], count: int) -> None:
+    """Default sink for counting-only executions."""

@@ -1,0 +1,80 @@
+"""The ``num_shrinkages`` hash table with O(1) clearing (paper section 5).
+
+Algorithm 1 clears the shrinkage-discount table once per cutting-set
+embedding; for large cutting sets that is a huge number of clears.  The
+paper attaches an ``entry_valid`` stamp to every entry and a table-wide
+``global_valid`` counter: clearing just bumps the counter, an entry counts
+only when stamps agree, and a (wildly improbable) counter overflow triggers
+a full reinitialization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShrinkageTable", "NaiveTable"]
+
+#: Stamp width from the paper ("a 64-bit integer field entry_valid").
+_STAMP_LIMIT = 2**64 - 1
+
+
+class ShrinkageTable:
+    """Counting table with stamp-based O(1) clear."""
+
+    __slots__ = ("_entries", "_global_valid", "clears", "full_resets")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, list[int]] = {}
+        self._global_valid = 0
+        self.clears = 0
+        self.full_resets = 0
+
+    def clear(self) -> None:
+        """Invalidate every entry in O(1) by bumping the global stamp."""
+        self.clears += 1
+        if self._global_valid >= _STAMP_LIMIT:
+            self._entries.clear()
+            self._global_valid = 0
+            self.full_resets += 1
+        else:
+            self._global_valid += 1
+
+    def add(self, key: tuple, amount: int = 1) -> None:
+        entry = self._entries.get(key)
+        if entry is None or entry[1] != self._global_valid:
+            self._entries[key] = [amount, self._global_valid]
+        else:
+            entry[0] += amount
+
+    def get(self, key: tuple) -> int:
+        entry = self._entries.get(key)
+        if entry is None or entry[1] != self._global_valid:
+            return 0
+        return entry[0]
+
+    def __len__(self) -> int:
+        """Number of *valid* entries (linear scan; debugging/tests only)."""
+        return sum(
+            1 for entry in self._entries.values() if entry[1] == self._global_valid
+        )
+
+
+class NaiveTable:
+    """Baseline table that physically clears — the ablation comparator."""
+
+    __slots__ = ("_entries", "clears")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, int] = {}
+        self.clears = 0
+
+    def clear(self) -> None:
+        self.clears += 1
+        self._entries.clear()
+
+    def add(self, key: tuple, amount: int = 1) -> None:
+        self._entries[key] = self._entries.get(key, 0) + amount
+
+    def get(self, key: tuple) -> int:
+        return self._entries.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._entries)

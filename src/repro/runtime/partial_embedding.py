@@ -1,0 +1,116 @@
+"""Partial embeddings and whole-embedding materialization (paper §4).
+
+A :class:`PartialEmbedding` is an embedding of one subpattern: a mapping
+from a subset of the whole pattern's vertices to graph vertices, plus the
+number of whole-pattern embeddings it expands to.  Pattern vertices the
+subpattern does not cover are the figure's ``*`` holes.
+
+:func:`materialize` implements the API's ``materialize(pe, num)``: it
+enumerates (up to ``num``) whole-pattern embeddings extending a partial
+embedding, by direct backtracking over the missing vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.graph import vertex_set as vs
+from repro.graph.csr import CSRGraph
+from repro.patterns.matching_order import greedy_extension_order
+from repro.patterns.pattern import Pattern
+
+__all__ = ["PartialEmbedding", "materialize"]
+
+
+@dataclass(frozen=True)
+class PartialEmbedding:
+    """An embedding of one subpattern of ``pattern``.
+
+    ``pattern_vertices`` and ``graph_vertices`` are aligned: pattern
+    vertex ``pattern_vertices[i]`` is matched to graph vertex
+    ``graph_vertices[i]``.  ``count`` is the number of whole-pattern
+    embeddings this partial embedding expands to (Algorithm 1, line 21).
+    """
+
+    pattern: Pattern
+    subpattern_index: int
+    pattern_vertices: tuple[int, ...]
+    graph_vertices: tuple[int, ...]
+    count: int
+
+    @property
+    def mapping(self) -> dict[int, int]:
+        return dict(zip(self.pattern_vertices, self.graph_vertices))
+
+    @property
+    def missing_vertices(self) -> tuple[int, ...]:
+        covered = set(self.pattern_vertices)
+        return tuple(v for v in range(self.pattern.n) if v not in covered)
+
+    def as_tuple(self) -> tuple:
+        """Figure 8(b) rendering: graph vertex per pattern vertex, ``"*"``
+        for vertices outside the subpattern."""
+        mapping = self.mapping
+        return tuple(
+            mapping.get(v, "*") for v in range(self.pattern.n)
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(x) for x in self.as_tuple())
+        return f"({rendered})"
+
+
+def materialize(
+    graph: CSRGraph,
+    pe: PartialEmbedding,
+    num: int | None = None,
+) -> Iterator[dict[int, int]]:
+    """Expand a partial embedding into whole-pattern embeddings.
+
+    Yields complete ``pattern vertex -> graph vertex`` mappings, at most
+    ``num`` of them (all when ``num`` is None).  The number of available
+    expansions equals ``pe.count``.
+    """
+    pattern = pe.pattern
+    base = pe.mapping
+    missing = list(pe.missing_vertices)
+    if not missing:
+        if num is None or num > 0:
+            yield dict(base)
+        return
+    order = greedy_extension_order(pattern, list(base), missing)
+    yielded = 0
+    assignment = dict(base)
+
+    def candidates(v: int):
+        out = None
+        for w in pattern.neighbors(v):
+            if w in assignment:
+                nbrs = graph.neighbors(assignment[w])
+                out = nbrs if out is None else vs.intersect(out, nbrs)
+        assert out is not None, "pattern is connected"
+        out = vs.exclude(out, *assignment.values())
+        want = pattern.label_of(v)
+        if want is not None:
+            out = graph.filter_label(out, want)
+        return out
+
+    def backtrack(index: int) -> Iterator[dict[int, int]]:
+        nonlocal yielded
+        if index == len(order):
+            yielded += 1
+            yield dict(assignment)
+            return
+        v = order[index]
+        for g in candidates(v).tolist():
+            if num is not None and yielded >= num:
+                return
+            assignment[v] = g
+            yield from backtrack(index + 1)
+            del assignment[v]
+
+    for item in backtrack(0):
+        yield item
+        if num is not None and yielded >= num:
+            return

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, planted_communities
+
+
+@pytest.fixture(scope="session")
+def small_random_graph() -> CSRGraph:
+    """A 14-vertex random graph dense enough to host all test patterns."""
+    return erdos_renyi(14, 0.35, seed=0, name="small-random")
+
+
+@pytest.fixture(scope="session")
+def medium_random_graph() -> CSRGraph:
+    return erdos_renyi(25, 0.25, seed=7, name="medium-random")
+
+
+@pytest.fixture(scope="session")
+def labeled_graph() -> CSRGraph:
+    """A small labeled graph for FSM and constraint tests."""
+    return planted_communities(
+        n=60, num_communities=4, p_in=0.3, p_out=0.03, num_labels=4,
+        seed=11, name="labeled-test",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> CSRGraph:
+    """The 7-vertex example-style graph, hand-checkable."""
+    return CSRGraph.from_edges(
+        7,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6),
+         (5, 6), (2, 4)],
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def k4_graph() -> CSRGraph:
+    return CSRGraph.from_edges(
+        4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], name="k4"
+    )

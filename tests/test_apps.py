@@ -1,0 +1,163 @@
+"""Tests for the application layer: motifs, FSM, pseudo-cliques, queries."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.api import DecoMine
+from repro.apps import (
+    DecoMineMiner,
+    count_cycles,
+    count_motifs,
+    count_pseudo_cliques,
+    frequent_subgraph_mining,
+    section86_query,
+    star_center_labels,
+    total_motif_embeddings,
+)
+from repro.apps.fsm import mni_support
+from repro.baselines import reference
+from repro.graph.generators import erdos_renyi, planted_communities
+from repro.patterns import catalog
+from repro.patterns.generation import all_connected_patterns, patterns_with_edge_budget
+from repro.patterns.isomorphism import canonical_code
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture(scope="module")
+def miner():
+    return DecoMineMiner.for_graph(erdos_renyi(18, 0.3, seed=13))
+
+
+@pytest.fixture(scope="module")
+def small_labeled():
+    return planted_communities(
+        n=30, num_communities=3, p_in=0.4, p_out=0.05, num_labels=3, seed=23,
+    )
+
+
+class TestMotifCounting:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_census_matches_bruteforce(self, miner, k):
+        census = count_motifs(miner, k)
+        assert len(census) == len(all_connected_patterns(k))
+        for pattern, value in census.items():
+            assert value == reference.count_embeddings(
+                miner.session.graph, pattern, induced=True
+            ), pattern.name
+
+    def test_total_checksum(self, miner):
+        census = count_motifs(miner, 3)
+        assert total_motif_embeddings(census) == sum(census.values())
+
+    def test_census_total_equals_connected_triples(self, miner):
+        """Sum over the size-3 census = number of connected vertex triples."""
+        census = count_motifs(miner, 3)
+        graph = miner.session.graph
+        connected = 0
+        for triple in itertools.combinations(range(graph.num_vertices), 3):
+            edges = graph.subgraph_adjacency(list(triple))
+            if len(edges) >= 2:
+                connected += 1
+        assert total_motif_embeddings(census) == connected
+
+
+class TestCyclesAndPseudoCliques:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_cycles(self, miner, k):
+        assert count_cycles(miner, k) == reference.count_embeddings(
+            miner.session.graph, catalog.cycle(k)
+        )
+
+    def test_pseudo_cliques(self, miner):
+        counts = count_pseudo_cliques(miner, 4)
+        graph = miner.session.graph
+        for pattern, value in counts.items():
+            assert value == reference.count_embeddings(
+                graph, pattern, induced=True
+            )
+
+
+class TestFSM:
+    def oracle_frequent(self, graph, min_support, max_edges=3):
+        """Brute-force FSM: try every labeled skeleton labeling."""
+        labels = sorted({graph.label_of(v) for v in range(graph.num_vertices)})
+        frequent = {}
+        for skeleton in patterns_with_edge_budget(max_edges):
+            for labeling in itertools.product(labels, repeat=skeleton.n):
+                pattern = Pattern(skeleton.n, skeleton.edge_set,
+                                  labels=labeling)
+                code = canonical_code(pattern)
+                if code in frequent:
+                    continue
+                domains = {v: set() for v in range(pattern.n)}
+                for a in reference._assignments(graph, pattern, False):
+                    for v, g in enumerate(a):
+                        domains[v].add(g)
+                support = mni_support(domains)
+                if support >= min_support:
+                    frequent[code] = support
+        return frequent
+
+    def test_fsm_exact_vs_bruteforce(self, small_labeled):
+        miner = DecoMineMiner.for_graph(small_labeled)
+        result = frequent_subgraph_mining(miner, small_labeled, min_support=6)
+        got = {
+            canonical_code(f.pattern): f.support for f in result.frequent
+        }
+        want = self.oracle_frequent(small_labeled, 6)
+        assert got == want
+
+    def test_fsm_thresholds_monotone(self, small_labeled):
+        miner = DecoMineMiner.for_graph(small_labeled)
+        counts = [
+            frequent_subgraph_mining(miner, small_labeled, s).num_frequent
+            for s in (4, 8, 16)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fsm_requires_labels(self, miner):
+        with pytest.raises(ValueError):
+            frequent_subgraph_mining(miner, miner.session.graph, 5)
+
+    def test_fsm_extreme_threshold_filters_everything(self, small_labeled):
+        miner = DecoMineMiner.for_graph(small_labeled)
+        result = frequent_subgraph_mining(
+            miner, small_labeled, min_support=10 ** 9
+        )
+        assert result.num_frequent == 0
+
+    def test_mni_support_empty(self):
+        assert mni_support({}) == 0
+
+
+class TestQueries:
+    def test_star_centers_match_degree_rule(self, small_labeled):
+        session = DecoMine(small_labeled)
+        leaves = 5
+        got = star_center_labels(session, leaves)
+        want = {
+            small_labeled.label_of(v)
+            for v in range(small_labeled.num_vertices)
+            if small_labeled.degree(v) >= leaves
+        }
+        assert got == want
+
+    def test_section86_query_matches_bruteforce(self, small_labeled):
+        session = DecoMine(small_labeled)
+        got = section86_query(session)
+        pattern = catalog.figure6_pattern()
+        want = 0
+        for a in reference._assignments(small_labeled, pattern, False):
+            labs = [small_labeled.label_of(x) for x in a]
+            if len({labs[0], labs[1], labs[2]}) == 3 and (
+                labs[1] == labs[3] == labs[4]
+            ):
+                want += 1
+        assert got == want
+
+    def test_star_query_needs_labels(self, miner):
+        with pytest.raises(ValueError):
+            star_center_labels(miner.session, 3)

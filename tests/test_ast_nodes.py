@@ -1,0 +1,175 @@
+"""Unit tests for the AST node helpers and both executors' op tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    EmitPartial,
+    HashAdd,
+    HashGet,
+    IfPositive,
+    IfPred,
+    Loop,
+    Root,
+    ScalarOp,
+    SetOp,
+    child_blocks,
+    node_def,
+    node_uses,
+    substitute_args,
+    walk,
+)
+from repro.compiler.interpreter import run_interpreter
+from repro.graph.csr import CSRGraph
+from repro.runtime.context import ExecutionContext
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return CSRGraph.from_edges(
+        5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)],
+        labels=[0, 1, 0, 1, 0],
+    )
+
+
+class TestNodeValidation:
+    def test_unknown_set_op_rejected(self):
+        with pytest.raises(ValueError):
+            SetOp("s1", "teleport", ())
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            SetOp("s1", "intersect", ("a",))
+
+    def test_variadic_exclude_allowed(self):
+        SetOp("s1", "exclude", ("s0", "v1", "v2", "v3"))
+
+    def test_unknown_scalar_op_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarOp("c1", "sqrt", ("c0",))
+
+
+class TestHelpers:
+    def test_node_def(self):
+        assert node_def(SetOp("s1", "universe", ())) == "s1"
+        assert node_def(ScalarOp("c1", "const", (0,))) == "c1"
+        assert node_def(HashGet("c2", 0, ("v1",))) == "c2"
+        assert node_def(Loop("v1", "s1", [])) == "v1"
+        assert node_def(Accumulate("acc", 1)) is None
+
+    def test_node_uses(self):
+        assert node_uses(SetOp("s2", "intersect", ("s0", "s1"))) == {"s0", "s1"}
+        assert node_uses(ScalarOp("c1", "mul", ("c0", 3))) == {"c0"}
+        assert node_uses(Loop("v1", "s1", [])) == {"s1"}
+        assert node_uses(Accumulate("acc", "c1")) == {"c1"}
+        assert node_uses(Accumulate("acc", 5)) == set()
+        assert node_uses(EmitPartial(0, ("v1", "v2"), "c3")) == \
+            {"v1", "v2", "c3"}
+        assert node_uses(IfPositive("c1", [])) == {"c1"}
+        assert node_uses(IfPred(0, ("v1",), [])) == {"v1"}
+        assert node_uses(HashAdd(0, ("v1", "v2"))) == {"v1", "v2"}
+
+    def test_substitute_args_rewrites_refs_not_defs(self):
+        node = SetOp("s2", "intersect", ("s0", "s1"))
+        substitute_args(node, {"s0": "sX", "s2": "sY"})
+        assert node.args == ("sX", "s1")
+        assert node.target == "s2"
+
+    def test_substitute_args_every_node_kind(self):
+        mapping = {"a": "z"}
+        loop = Loop("v", "a", [])
+        substitute_args(loop, mapping)
+        assert loop.source == "z"
+        emit = EmitPartial(0, ("a",), "a")
+        substitute_args(emit, mapping)
+        assert emit.vertices == ("z",) and emit.count == "z"
+        guard = IfPositive("a", [])
+        substitute_args(guard, mapping)
+        assert guard.scalar == "z"
+        pred = IfPred(1, ("a", "b"), [])
+        substitute_args(pred, mapping)
+        assert pred.vertices == ("z", "b")
+        get = HashGet("t", 0, ("a",))
+        substitute_args(get, mapping)
+        assert get.key == ("z",)
+
+    def test_walk_and_child_blocks(self):
+        inner = Accumulate("acc", 1)
+        loop = Loop("v1", "s1", [inner])
+        root = Root([SetOp("s1", "universe", ()), loop],
+                    accumulators=("acc",))
+        assert [type(n).__name__ for n in walk(root)] == \
+            ["Root", "SetOp", "Loop", "Accumulate"]
+        assert child_blocks(loop) == [[inner]]
+        assert child_blocks(inner) == []
+
+
+class TestInterpreterOps:
+    def run(self, body, graph, **ctx_kwargs):
+        root = Root(body, accumulators=("acc",))
+        ctx = ExecutionContext(**ctx_kwargs)
+        return run_interpreter(root, graph, ctx)["acc"]
+
+    def test_label_universe_and_filter(self, graph):
+        body = [
+            SetOp("s1", "label_universe", (0,)),
+            ScalarOp("c1", "size", ("s1",)),
+            Accumulate("acc", "c1"),
+        ]
+        assert self.run(body, graph) == 3  # labels [0,1,0,1,0]
+
+    def test_copy_and_subtract(self, graph):
+        body = [
+            SetOp("s1", "universe", ()),
+            SetOp("s2", "copy", ("s1",)),
+            SetOp("s3", "label_universe", (1,)),
+            SetOp("s4", "subtract", ("s2", "s3")),
+            ScalarOp("c1", "size", ("s4",)),
+            Accumulate("acc", "c1"),
+        ]
+        assert self.run(body, graph) == 3
+
+    def test_trims_and_arithmetic(self, graph):
+        body = [
+            SetOp("s1", "universe", ()),
+            Loop("v1", "s1", [
+                SetOp("s2", "neighbors", ("v1",)),
+                SetOp("s3", "trim_below", ("s2", "v1")),
+                ScalarOp("c1", "size", ("s3",)),
+                Accumulate("acc", "c1"),
+            ]),
+        ]
+        # Sum over v of |N(v) ∩ {< v}| = number of edges.
+        assert self.run(body, graph) == graph.num_edges
+
+    def test_scalar_ops(self, graph):
+        body = [
+            ScalarOp("c1", "const", (7,)),
+            ScalarOp("c2", "add", ("c1", 3)),
+            ScalarOp("c3", "sub", ("c2", 4)),
+            ScalarOp("c4", "mul", ("c3", "c3")),
+            ScalarOp("c5", "floordiv", ("c4", 2)),
+            Accumulate("acc", "c5"),
+        ]
+        assert self.run(body, graph) == 18  # ((7+3-4)^2)//2
+
+    def test_predicates(self, graph):
+        body = [
+            SetOp("s1", "universe", ()),
+            Loop("v1", "s1", [
+                IfPred(0, ("v1",), [Accumulate("acc", 1)]),
+            ]),
+        ]
+        assert self.run(body, graph,
+                        predicates=[lambda v: v % 2 == 0]) == 3
+
+    def test_unknown_node_rejected(self, graph):
+        class Bogus:
+            pass
+
+        root = Root([Bogus()], accumulators=())
+        with pytest.raises(TypeError):
+            run_interpreter(root, graph, ExecutionContext())

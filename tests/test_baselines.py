@@ -1,0 +1,170 @@
+"""Cross-validation of every baseline system against the oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import DecoMineMiner
+from repro.baselines import (
+    Arabesque,
+    AutoMineInHouse,
+    Escape,
+    Fractal,
+    GraphPi,
+    Pangolin,
+    Peregrine,
+    RStream,
+)
+from repro.baselines import reference
+from repro.exceptions import BudgetExceededError
+from repro.graph.generators import erdos_renyi, planted_communities
+from repro.patterns import catalog
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.isomorphism import canonical_code
+from repro.patterns.pattern import Pattern
+
+TEST_PATTERNS = [
+    catalog.triangle(), catalog.chain(4), catalog.cycle(4),
+    catalog.tailed_triangle(), catalog.star(3),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(20, 0.28, seed=17)
+
+
+@pytest.fixture(scope="module")
+def labeled():
+    return planted_communities(
+        n=40, num_communities=3, p_in=0.35, p_out=0.04, num_labels=3, seed=29,
+    )
+
+
+def all_systems(graph):
+    return [
+        AutoMineInHouse(graph),
+        Peregrine(graph),
+        GraphPi(graph),
+        GraphPi(graph, count_optimization=False),
+        Arabesque(graph),
+        RStream(graph),
+        Fractal(graph),
+    ]
+
+
+class TestEdgeInducedCounts:
+    @pytest.mark.parametrize("pattern", TEST_PATTERNS,
+                             ids=lambda p: p.name)
+    def test_all_systems_agree(self, graph, pattern):
+        expected = reference.count_embeddings(graph, pattern)
+        for system in all_systems(graph):
+            assert system.count(pattern) == expected, system.name
+
+
+class TestVertexInducedCounts:
+    @pytest.mark.parametrize("pattern", TEST_PATTERNS,
+                             ids=lambda p: p.name)
+    def test_all_systems_agree(self, graph, pattern):
+        expected = reference.count_embeddings(graph, pattern, induced=True)
+        systems = all_systems(graph) + [Pangolin(graph)]
+        for system in systems:
+            assert system.count(pattern, induced=True) == expected, system.name
+
+
+class TestMotifCensus:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_census_agreement(self, graph, k):
+        expected = {
+            canonical_code(p): reference.count_embeddings(graph, p, induced=True)
+            for p in all_connected_patterns(k)
+        }
+        for system in (DecoMineMiner.for_graph(graph), AutoMineInHouse(graph),
+                       Arabesque(graph), Fractal(graph), Escape(graph)):
+            census = system.motif_census(k)
+            got = {canonical_code(p): c for p, c in census.items()}
+            assert got == expected, system.name
+
+
+class TestDomains:
+    def test_domains_agree_across_systems(self, labeled):
+        pattern = Pattern(3, [(0, 1), (1, 2)], labels=[0, 1, 0])
+        expected = {v: set() for v in range(3)}
+        for a in reference._assignments(labeled, pattern, False):
+            for v, g in enumerate(a):
+                expected[v].add(g)
+        for system in (DecoMineMiner.for_graph(labeled),
+                       AutoMineInHouse(labeled), Peregrine(labeled),
+                       Arabesque(labeled), Fractal(labeled)):
+            assert system.domains(pattern) == expected, system.name
+
+    def test_single_vertex_domains(self, labeled):
+        pattern = Pattern(1, [], labels=[0])
+        domains = Peregrine(labeled).domains(pattern)
+        assert domains[0] == set(labeled.vertices_with_label(0).tolist())
+
+
+class TestBudgets:
+    def test_arabesque_crashes_over_budget(self, graph):
+        system = Arabesque(graph, max_stored=50)
+        with pytest.raises(BudgetExceededError):
+            system.count(catalog.chain(4))
+
+    def test_rstream_crashes_over_budget(self, graph):
+        system = RStream(graph, max_rows=50)
+        with pytest.raises(BudgetExceededError):
+            system.count(catalog.chain(4))
+
+    def test_pangolin_crashes_over_budget(self, graph):
+        system = Pangolin(graph, max_stored=20)
+        with pytest.raises(BudgetExceededError):
+            system.count(catalog.clique(4))
+
+    def test_fractal_never_stores_frontiers(self, graph):
+        # DFS: no budget parameter at all; large patterns just take time.
+        assert Fractal(graph).count(catalog.chain(5)) == \
+            reference.count_embeddings(graph, catalog.chain(5))
+
+
+class TestEscape:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_census_exact(self, graph, k):
+        census = Escape(graph).motif_census(k)
+        for pattern, value in census.items():
+            assert value == reference.count_embeddings(
+                graph, pattern, induced=True
+            ), pattern.name
+
+    def test_single_pattern_counts(self, graph):
+        escape = Escape(graph)
+        assert escape.count(catalog.diamond()) == \
+            reference.count_embeddings(graph, catalog.diamond())
+        assert escape.count(catalog.cycle(4), induced=True) == \
+            reference.count_embeddings(graph, catalog.cycle(4), induced=True)
+
+    def test_out_of_scope_pattern_rejected(self, graph):
+        with pytest.raises(ValueError):
+            Escape(graph).count(catalog.cycle(6))
+        with pytest.raises(ValueError):
+            Escape(graph).motif_census(6)
+
+    def test_no_fsm_support(self, graph):
+        with pytest.raises(NotImplementedError):
+            Escape(graph).domains(catalog.chain(3))
+
+
+class TestConstrainedCounting:
+    def test_peregrine_filter_matches_decomine(self, labeled):
+        from repro.api import DecoMine, labels_distinct, labels_equal
+
+        pattern = catalog.figure6_pattern()
+        session = DecoMine(labeled)
+        constraints = [
+            labels_distinct(labeled, (0, 1, 2)),
+            labels_equal(labeled, (1, 3, 4)),
+        ]
+        decomine_count = session.count_with_constraints(pattern, constraints)
+        peregrine_count = Peregrine(labeled).constrained_count(
+            pattern, constraints
+        )
+        assert decomine_count == peregrine_count

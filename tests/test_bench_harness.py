@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Measurement, Table, make_system, time_call, speedup
+from repro.bench.workloads import SYSTEM_NAMES, profile_for, session_for
+from repro.exceptions import BudgetExceededError
+from repro.graph.generators import erdos_renyi
+
+
+class TestMeasurement:
+    def test_formats(self):
+        assert Measurement(0.0000005).format().endswith("us")
+        assert Measurement(0.005).format() == "5.0ms"
+        assert Measurement(2.5).format() == "2.50s"
+        assert Measurement(300.0).format() == "5.0m"
+        assert Measurement(None, status="timeout").format() == "T"
+        assert Measurement(None, status="crashed").format() == "C"
+
+    def test_time_call_ok(self):
+        m = time_call(lambda: 42)
+        assert m.ok and m.value == 42 and m.seconds >= 0
+
+    def test_time_call_timeout(self):
+        import time
+
+        m = time_call(lambda: time.sleep(0.02), timeout=0.001)
+        assert m.status == "timeout"
+
+    def test_time_call_crash(self):
+        def boom():
+            raise BudgetExceededError("oom")
+
+        m = time_call(boom)
+        assert m.status == "crashed"
+
+    def test_speedup(self):
+        assert speedup(Measurement(2.0), Measurement(1.0)) == "2.0x"
+        assert speedup(Measurement(None, status="timeout"),
+                       Measurement(1.0)) == "-"
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("demo", ["a", "bb"])
+        table.add_row("x", "y")
+        table.add_note("hello")
+        text = table.render()
+        assert "demo" in text and "hello" in text and "x" in text
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+
+class TestWorkloads:
+    def test_all_system_names_constructible(self):
+        graph = erdos_renyi(12, 0.3, seed=1)
+        for name in SYSTEM_NAMES:
+            system = make_system(name, graph)
+            assert system is make_system(name, graph)  # memoized
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            make_system("spark", erdos_renyi(5, 0.5, seed=0))
+
+    def test_profile_and_session_memoized(self):
+        graph = erdos_renyi(12, 0.3, seed=2)
+        assert profile_for(graph) is profile_for(graph)
+        assert session_for(graph) is session_for(graph)
+
+
+class TestMeasureCell:
+    def test_warm_measurement_ok(self):
+        from repro.bench import measure_cell
+
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42
+
+        m = measure_cell(fn, timeout=10.0)
+        assert m.ok and m.value == 42
+        # probe (forked; parent list unaffected) + two in-parent runs
+        assert len(calls) == 2
+
+    def test_cold_only_for_uncached_systems(self):
+        from repro.bench import measure_cell
+
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 7
+
+        m = measure_cell(fn, timeout=10.0, warm=False)
+        assert m.ok and m.value == 7
+        assert len(calls) == 0  # only the forked probe ran
+
+    def test_crash_propagates(self):
+        from repro.bench import measure_cell
+        from repro.exceptions import BudgetExceededError
+
+        def boom():
+            raise BudgetExceededError("oom")
+
+        assert measure_cell(boom, timeout=5.0).status == "crashed"

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import reference
+from repro.cli import main, parse_pattern
+from repro.exceptions import PatternError
+from repro.graph import io
+from repro.patterns import catalog
+
+
+@pytest.fixture()
+def edge_list_file(tmp_path, small_random_graph):
+    path = tmp_path / "graph.txt"
+    io.save_edge_list(small_random_graph, path)
+    return str(path)
+
+
+class TestParsePattern:
+    @pytest.mark.parametrize("text,expected", [
+        ("triangle", catalog.triangle()),
+        ("house", catalog.house()),
+        ("HOUSE", catalog.house()),
+        ("4-chain", catalog.chain(4)),
+        ("5-cycle", catalog.cycle(5)),
+        ("4-clique", catalog.clique(4)),
+        ("3-star", catalog.star(3)),
+        ("6-path", catalog.chain(6)),
+    ])
+    def test_known_patterns(self, text, expected):
+        assert parse_pattern(text) == expected
+
+    @pytest.mark.parametrize("text", ["widget", "x-cycle", "4-blob", "-"])
+    def test_unknown_patterns(self, text):
+        with pytest.raises(PatternError):
+            parse_pattern(text)
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "citeseer" in out and "friendster" in out
+
+    def test_count(self, capsys, edge_list_file, small_random_graph):
+        assert main(["count", "--graph", edge_list_file,
+                     "--pattern", "triangle"]) == 0
+        out = capsys.readouterr().out
+        expected = reference.count_embeddings(
+            small_random_graph, catalog.triangle()
+        )
+        assert str(expected) in out
+
+    def test_count_induced(self, capsys, edge_list_file, small_random_graph):
+        assert main(["count", "--graph", edge_list_file,
+                     "--pattern", "4-chain", "--induced"]) == 0
+        out = capsys.readouterr().out
+        expected = reference.count_embeddings(
+            small_random_graph, catalog.chain(4), induced=True
+        )
+        assert str(expected) in out
+
+    def test_census(self, capsys, edge_list_file, small_random_graph):
+        assert main(["census", "--graph", edge_list_file, "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        tri = reference.count_embeddings(
+            small_random_graph, catalog.triangle(), induced=True
+        )
+        assert str(tri) in out
+
+    def test_explain_with_source(self, capsys, edge_list_file):
+        assert main(["explain", "--graph", edge_list_file,
+                     "--pattern", "4-chain", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for" in out
+        assert "def _plan(" in out
+
+    def test_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["count", "--pattern", "triangle"])
+
+    def test_fsm_command(self, capsys, tmp_path):
+        from repro.graph.generators import planted_communities
+
+        graph = planted_communities(40, 3, 0.3, 0.05, num_labels=3, seed=8)
+        path = tmp_path / "labeled.lg"
+        io.save_labeled_graph(graph, path)
+        # FSM needs the labeled loader; route through a dataset instead.
+        assert main(["fsm", "--dataset", "cs", "--support", "25"]) == 0
+        err = capsys.readouterr().err
+        assert "frequent patterns" in err

@@ -1,0 +1,83 @@
+"""Tests for degeneracy-oriented clique counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cliques import clique_census, count_cliques, degeneracy_order
+from repro.baselines import reference
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(25, 0.35, seed=12)
+
+
+class TestDegeneracyOrder:
+    def test_is_a_permutation(self, graph):
+        order = degeneracy_order(graph)
+        assert sorted(order) == list(range(graph.num_vertices))
+
+    def test_clique_graph_order(self, k4_graph):
+        assert sorted(degeneracy_order(k4_graph)) == [0, 1, 2, 3]
+
+    def test_out_degrees_bounded_by_degeneracy(self):
+        # A tree has degeneracy 1: every out-degree must be <= 1.
+        tree = CSRGraph.from_edges(
+            7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]
+        )
+        from repro.apps.cliques import _out_neighbors
+
+        order = degeneracy_order(tree)
+        assert max(len(x) for x in _out_neighbors(tree, order)) <= 1
+
+    def test_empty_graph(self):
+        from repro.graph.builder import GraphBuilder
+
+        assert degeneracy_order(GraphBuilder(0).build()) == []
+
+
+class TestCounting:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_bruteforce(self, graph, k):
+        expected = reference.count_embeddings(graph, catalog.clique(k))
+        assert count_cliques(graph, k) == expected
+
+    def test_small_k(self, graph):
+        assert count_cliques(graph, 1) == graph.num_vertices
+        assert count_cliques(graph, 2) == graph.num_edges
+
+    def test_invalid_k(self, graph):
+        with pytest.raises(ValueError):
+            count_cliques(graph, 0)
+
+    def test_complete_graph_binomials(self):
+        import math
+
+        k6 = CSRGraph.from_edges(
+            6, [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        )
+        for k in range(3, 7):
+            assert count_cliques(k6, k) == math.comb(6, k)
+
+    def test_census_matches_individual_counts(self, graph):
+        census = clique_census(graph, 5)
+        for k in (3, 4, 5):
+            assert census[k] == count_cliques(graph, k), k
+
+    def test_triangle_free_graph(self):
+        cycle = CSRGraph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert count_cliques(cycle, 3) == 0
+        assert clique_census(cycle, 4) == {3: 0, 4: 0}
+
+    def test_agreement_with_compiler_plan(self, graph):
+        """The specialist and the compiled clique plan must agree — the
+        cross-check the module docstring promises."""
+        from repro.bench import profile_for, session_for
+
+        session = session_for(graph)
+        assert session.get_pattern_count(catalog.clique(4)) == \
+            count_cliques(graph, 4)

@@ -1,0 +1,128 @@
+"""Snippet-level tests of the Python back-end's emitted source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    EmitPartial,
+    HashAdd,
+    HashClear,
+    HashGet,
+    IfPositive,
+    IfPred,
+    Loop,
+    Root,
+    ScalarOp,
+    SetOp,
+)
+from repro.compiler.codegen import compile_root, generate_source
+
+
+def source_of(*body, accumulators=("acc",)):
+    return generate_source(Root(list(body), accumulators=accumulators))
+
+
+class TestSetExpressions:
+    def test_each_op_renders(self):
+        cases = {
+            ("universe", ()): "graph.vertices()",
+            ("neighbors", ("v1",)): "_neighbors(v1)",
+            ("intersect", ("s1", "s2")): "_intersect(s1, s2)",
+            ("subtract", ("s1", "s2")): "_subtract(s1, s2)",
+            ("copy", ("s1",)): "= s1",
+            ("trim_below", ("s1", "v1")): "_trim_below(s1, v1)",
+            ("trim_above", ("s1", "v1")): "_trim_above(s1, v1)",
+            ("exclude", ("s1", "v1", "v2")): "_exclude(s1, v1, v2)",
+            ("filter_label", ("s1", 3)): "_filter_label(s1, 3)",
+            ("label_universe", (7,)): "_label_universe(7)",
+        }
+        for (op, args), expected in cases.items():
+            assert expected in source_of(SetOp("sX", op, args)), op
+
+    def test_scalar_ops_render(self):
+        src = source_of(
+            ScalarOp("c1", "const", (5,)),
+            ScalarOp("c2", "size", ("s1",)),
+            ScalarOp("c3", "mul", ("c1", "c2")),
+            ScalarOp("c4", "sub", ("c3", 1)),
+            ScalarOp("c5", "floordiv", ("c4", "c1")),
+            ScalarOp("c6", "add", ("c5", 2)),
+        )
+        assert "c1 = 5" in src
+        assert "c2 = len(s1)" in src
+        assert "c3 = c1 * c2" in src
+        assert "c4 = c3 - 1" in src
+        assert "c5 = c4 // c1" in src
+        assert "c6 = c5 + 2" in src
+
+
+class TestStatements:
+    def test_loop_uses_tolist(self):
+        src = source_of(Loop("v1", "s1", [Accumulate("acc", 1)]))
+        assert "for v1 in s1[start:stop].tolist():" in src
+
+    def test_only_outermost_loop_sliced(self):
+        src = source_of(
+            Loop("v1", "s1", [Loop("v2", "s2", [Accumulate("acc", 1)])])
+        )
+        assert src.count("[start:stop]") == 1
+        assert "for v2 in s2.tolist():" in src
+
+    def test_single_key_tuples_get_commas(self):
+        src = source_of(
+            HashAdd(0, ("v1",)),
+            HashGet("c1", 0, ("v1",)),
+            EmitPartial(0, ("v1",), "c1"),
+        )
+        assert "_tables[0].add((v1,))" in src
+        assert "c1 = _tables[0].get((v1,))" in src
+        assert "_emit(0, (v1,), c1)" in src
+
+    def test_multi_key_tuples(self):
+        src = source_of(HashAdd(2, ("v1", "v2")), HashClear(2))
+        assert "_tables[2].add((v1, v2))" in src
+        assert "_tables[2].clear()" in src
+
+    def test_guards_render(self):
+        src = source_of(
+            IfPositive("c1", [Accumulate("acc", 1)]),
+            IfPred(1, ("v1", "v2"), [Accumulate("acc", 1)]),
+        )
+        assert "if c1 > 0:" in src
+        assert "if _preds[1](v1, v2):" in src
+
+    def test_accumulators_initialized_and_returned(self):
+        src = source_of(Accumulate("acc_a", 1),
+                        accumulators=("acc_a", "acc_b"))
+        assert "acc_a = 0" in src and "acc_b = 0" in src
+        assert "'acc_a': acc_a" in src and "'acc_b': acc_b" in src
+
+    def test_unknown_node_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            generate_source(Root([Mystery()], accumulators=()))
+
+
+class TestCompileRoot:
+    def test_compiled_function_runs(self, k4_graph):
+        from repro.runtime.context import ExecutionContext
+
+        root = Root(
+            [
+                SetOp("s1", "universe", ()),
+                Loop("v1", "s1", [
+                    SetOp("s2", "neighbors", ("v1",)),
+                    ScalarOp("c1", "size", ("s2",)),
+                    Accumulate("acc", "c1"),
+                ]),
+            ],
+            accumulators=("acc",),
+        )
+        fn, src = compile_root(root)
+        result = fn(k4_graph, ExecutionContext())
+        assert result["acc"] == 12  # sum of degrees of K4
+        assert "def _plan(" in src

@@ -1,0 +1,253 @@
+"""Unit and differential tests for the middle-end passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import reference
+from repro.compiler.ast_nodes import (
+    Accumulate,
+    Loop,
+    Root,
+    ScalarOp,
+    SetOp,
+    walk,
+)
+from repro.compiler.build import COUNT_ACC, build_ast
+from repro.compiler.interpreter import run_interpreter
+from repro.compiler.passes import (
+    PassOptions,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    elide_counting_loops,
+    loop_invariant_code_motion,
+    optimize,
+)
+from repro.compiler.specs import DecompSpec, DirectSpec
+from repro.patterns import catalog
+from repro.patterns.decomposition import all_decompositions
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.matching_order import connected_orders, extension_orders
+from repro.runtime.context import ExecutionContext
+
+
+def decomp_spec(pattern, which=0, plr_k=0):
+    deco = all_decompositions(pattern)[which]
+    ext = tuple(
+        extension_orders(pattern, deco.cutting_set, s.component)[0]
+        for s in deco.subpatterns
+    )
+    return DecompSpec(deco, deco.cutting_set, ext, plr_k=plr_k)
+
+
+def run_count(root, graph):
+    ctx = ExecutionContext(root.num_tables)
+    return run_interpreter(root, graph, ctx)[COUNT_ACC]
+
+
+class TestElide:
+    def test_innermost_counting_loop_removed(self):
+        spec = DirectSpec(catalog.triangle(), (0, 1, 2))
+        root, _ = build_ast(spec, "count")
+        depth_before = _max_loop_depth(root)
+        assert elide_counting_loops(root) == 1
+        assert _max_loop_depth(root) == depth_before - 1
+
+    def test_negative_constant_scaled(self):
+        spec = decomp_spec(catalog.chain(3))
+        root, _ = build_ast(spec, "count")
+        elide_counting_loops(root)
+        # The shrinkage loop `cnt += -1` becomes a size * -1 product.
+        muls = [n for n in walk(root)
+                if isinstance(n, ScalarOp) and n.op == "mul" and -1 in n.args]
+        assert muls
+
+    def test_emit_loops_not_elided(self):
+        spec = decomp_spec(catalog.chain(3))
+        root, _ = build_ast(spec, "emit")
+        before = sum(isinstance(n, Loop) for n in walk(root))
+        elide_counting_loops(root)
+        after = sum(isinstance(n, Loop) for n in walk(root))
+        # Only the M_i counting loops disappear; emit/shrinkage stay.
+        assert before - after == 2
+
+
+class TestLICM:
+    def test_hoists_invariant_setop(self):
+        spec = DirectSpec(catalog.cycle(4), (0, 1, 2, 3))
+        root, _ = build_ast(spec, "count")
+        moved = loop_invariant_code_motion(root)
+        assert moved >= 0  # may be zero pre-elide; combined below
+
+    def test_accumulator_init_never_hoisted(self):
+        spec = decomp_spec(catalog.chain(4))
+        root, _ = build_ast(spec, "count")
+        loop_invariant_code_motion(root)
+        # Every `const 0` accumulator init must stay inside the VC loops.
+        accumulated = {n.target for n in walk(root) if isinstance(n, Accumulate)}
+        top_level_defs = {
+            n.target for n in root.body if isinstance(n, ScalarOp)
+        }
+        assert not (accumulated - {COUNT_ACC}) & top_level_defs
+
+
+class TestCSE:
+    def test_duplicate_neighbor_loads_unified(self):
+        spec = decomp_spec(catalog.chain(4))
+        root, _ = build_ast(spec, "count")
+        removed = common_subexpression_elimination(root)
+        assert removed > 0
+
+    def test_commutative_intersections_unify(self):
+        from repro.compiler.ast_nodes import SetOp
+
+        root = Root(
+            body=[
+                SetOp("s1", "universe", ()),
+                SetOp("s2", "universe", ()),
+                SetOp("s3", "intersect", ("s1", "s2")),
+                SetOp("s4", "intersect", ("s2", "s1")),
+                ScalarOp("c1", "size", ("s3",)),
+                ScalarOp("c2", "size", ("s4",)),
+                Accumulate(COUNT_ACC, "c1"),
+                Accumulate(COUNT_ACC, "c2"),
+            ],
+            accumulators=(COUNT_ACC,),
+        )
+        removed = common_subexpression_elimination(root)
+        assert removed >= 2  # s2 dup of s1, s4 dup of s3, c2 dup of c1
+
+
+class TestDCE:
+    def test_orphans_removed_after_cse(self):
+        spec = decomp_spec(catalog.chain(4))
+        root, _ = build_ast(spec, "count")
+        common_subexpression_elimination(root)
+        removed = dead_code_elimination(root)
+        assert removed >= 0
+        # No unused pure definitions remain.
+        used = set()
+        from repro.compiler.ast_nodes import node_uses, IfPositive, IfPred
+
+        for node in walk(root):
+            used |= node_uses(node)
+            if isinstance(node, Loop):
+                used.add(node.source)
+        for node in walk(root):
+            if isinstance(node, (SetOp, ScalarOp)):
+                assert node.target in used
+
+    def test_effect_free_loop_removed(self):
+        root = Root(
+            body=[
+                SetOp("s1", "universe", ()),
+                Loop("v1", "s1", [SetOp("s2", "neighbors", ("v1",))]),
+                Accumulate(COUNT_ACC, 1),
+            ],
+            accumulators=(COUNT_ACC,),
+        )
+        dead_code_elimination(root)
+        assert not any(isinstance(n, Loop) for n in walk(root))
+
+
+class TestDifferential:
+    """Optimized trees must compute exactly what unoptimized trees do."""
+
+    @pytest.mark.parametrize("size", [3, 4])
+    def test_all_passes_preserve_counts(self, size, small_random_graph):
+        for pattern in all_connected_patterns(size):
+            specs = [DirectSpec(pattern, connected_orders(pattern)[0])]
+            if all_decompositions(pattern):
+                specs.append(decomp_spec(pattern))
+            for spec in specs:
+                base_root, _ = build_ast(spec, "count")
+                opt_root, _ = build_ast(spec, "count")
+                optimize(opt_root)
+                assert run_count(base_root, small_random_graph) == run_count(
+                    opt_root, small_random_graph
+                ), f"{pattern.name} {spec.describe()}"
+
+    def test_each_pass_alone_preserves_counts(self, small_random_graph):
+        spec = decomp_spec(catalog.house())
+        expected = run_count(build_ast(spec, "count")[0], small_random_graph)
+        for options in [
+            PassOptions(elide=True, licm=False, cse=False, dce=False),
+            PassOptions(elide=False, licm=True, cse=False, dce=False),
+            PassOptions(elide=False, licm=False, cse=True, dce=False),
+            PassOptions(elide=False, licm=False, cse=False, dce=True),
+        ]:
+            root, _ = build_ast(spec, "count")
+            optimize(root, options)
+            assert run_count(root, small_random_graph) == expected
+
+    def test_optimized_tree_is_smaller(self):
+        spec = decomp_spec(catalog.gem())
+        base_root, _ = build_ast(spec, "count")
+        opt_root, _ = build_ast(spec, "count")
+        optimize(opt_root)
+        assert len(list(walk(opt_root))) < len(list(walk(base_root)))
+
+
+class TestPLR:
+    @pytest.mark.parametrize("pattern", [
+        catalog.cycle(4), catalog.cycle(5), catalog.cycle(6),
+        catalog.house(), catalog.bowtie(),
+    ])
+    def test_plr_counts_match(self, pattern, small_random_graph):
+        expected = reference.count_embeddings(small_random_graph, pattern)
+        for which, deco in enumerate(all_decompositions(pattern)):
+            if len(deco.cutting_set) < 2:
+                continue
+            for plr_k in range(2, len(deco.cutting_set) + 1):
+                spec = decomp_spec(pattern, which, plr_k=plr_k)
+                root, info = build_ast(spec, "count")
+                optimize(root)
+                got = run_count(root, small_random_graph) // info.divisor
+                assert got == expected, f"{pattern.name} plr_k={plr_k}"
+            break  # one decomposition with a multi-vertex cut suffices
+
+    def test_plr_on_asymmetric_prefix_is_noop(self):
+        # A prefix with a trivial automorphism group disables PLR.
+        pattern = catalog.figure6_pattern()
+        deco = next(
+            d for d in all_decompositions(pattern)
+            if len(d.cutting_set) >= 2
+        )
+        ext = tuple(
+            extension_orders(pattern, deco.cutting_set, s.component)[0]
+            for s in deco.subpatterns
+        )
+        spec_plain = DecompSpec(deco, deco.cutting_set, ext)
+        spec_plr = DecompSpec(deco, deco.cutting_set, ext, plr_k=0)
+        a, _ = build_ast(spec_plain, "count")
+        b, _ = build_ast(spec_plr, "count")
+        assert len(list(walk(a))) == len(list(walk(b)))
+
+    def test_plr_expands_compensation_subtrees(self, small_random_graph):
+        pattern = catalog.cycle(6)
+        deco = next(
+            d for d in all_decompositions(pattern) if len(d.cutting_set) == 2
+        )
+        ext = tuple(
+            extension_orders(pattern, deco.cutting_set, s.component)[0]
+            for s in deco.subpatterns
+        )
+        plain, _ = build_ast(DecompSpec(deco, deco.cutting_set, ext), "count")
+        rewritten, _ = build_ast(
+            DecompSpec(deco, deco.cutting_set, ext, plr_k=2), "count"
+        )
+        # Before optimization the PLR tree carries |Aut(prefix)| = 2 copies.
+        assert len(list(walk(rewritten))) > len(list(walk(plain)))
+
+
+def _max_loop_depth(root) -> int:
+    def depth(block, current):
+        best = current
+        for node in block:
+            if isinstance(node, Loop):
+                best = max(best, depth(node.body, current + 1))
+            elif hasattr(node, "body"):
+                best = max(best, depth(node.body, current))
+        return best
+
+    return depth(root.body, 0)

@@ -1,0 +1,134 @@
+"""Tests for cutting sets, subpatterns and shrinkage quotients."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.patterns import catalog
+from repro.patterns.decomposition import (
+    all_decompositions,
+    cutting_set_candidates,
+    decompose,
+)
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.pattern import Pattern
+
+
+class TestCuttingSets:
+    def test_clique_has_no_cutting_set(self):
+        for k in (3, 4, 5):
+            assert cutting_set_candidates(catalog.clique(k)) == ()
+
+    def test_chain_cut_points(self):
+        candidates = cutting_set_candidates(catalog.chain(4))
+        assert (1,) in candidates
+        assert (2,) in candidates
+        assert (0,) not in candidates  # removing an endpoint keeps it connected
+
+    def test_cycle_needs_two_vertices(self):
+        candidates = cutting_set_candidates(catalog.cycle(5))
+        assert all(len(c) >= 2 for c in candidates)
+        assert (0, 2) in candidates
+
+    def test_candidates_actually_disconnect(self):
+        for pattern in all_connected_patterns(5)[:8]:
+            for candidate in cutting_set_candidates(pattern):
+                assert len(pattern.connected_components(candidate)) >= 2
+
+    def test_smallest_first(self):
+        sizes = [len(c) for c in cutting_set_candidates(catalog.cycle(6))]
+        assert sizes == sorted(sizes)
+
+
+class TestDecompose:
+    def test_figure6(self):
+        deco = decompose(catalog.figure6_pattern(), (0, 1, 3))
+        assert deco.num_subpatterns == 2
+        assert len(deco.shrinkages) == 1
+        shrinkage = deco.shrinkages[0]
+        # The only collision pattern merges C (2) and E (4).
+        assert shrinkage.blocks == ((2, 4),)
+
+    def test_subpatterns_cover_pattern(self):
+        """The coverage property of section 4.2."""
+        for pattern in all_connected_patterns(5)[:10]:
+            for deco in all_decompositions(pattern):
+                covered = set()
+                for sub in deco.subpatterns:
+                    covered.update(sub.vertices)
+                assert covered == set(range(pattern.n))
+
+    def test_subpattern_edges_are_pattern_edges(self):
+        pattern = catalog.house()
+        for deco in all_decompositions(pattern):
+            for sub in deco.subpatterns:
+                for (u, v) in sub.pattern.edge_set:
+                    assert pattern.has_edge(sub.vertices[u], sub.vertices[v])
+
+    def test_invalid_cutting_set_rejected(self):
+        with pytest.raises(DecompositionError):
+            decompose(catalog.cycle(4), (0,))  # does not disconnect
+        with pytest.raises(DecompositionError):
+            decompose(catalog.chain(3), (1, 1))  # duplicate
+        with pytest.raises(DecompositionError):
+            decompose(Pattern(3, [(0, 1)]), (0,))  # disconnected pattern
+
+    def test_shrinkage_blocks_cross_components_only(self):
+        for deco in all_decompositions(catalog.chain(5)):
+            component_of = {}
+            for index, sub in enumerate(deco.subpatterns):
+                for v in sub.component:
+                    component_of[v] = index
+            for shrinkage in deco.shrinkages:
+                for block in shrinkage.blocks:
+                    comps = [component_of[v] for v in block]
+                    assert len(set(comps)) == len(comps)
+
+    def test_shrinkage_projections_consistent(self):
+        deco = decompose(catalog.cycle(6), (0, 3))
+        for shrinkage in deco.shrinkages:
+            for i, sub in enumerate(deco.subpatterns):
+                projection = shrinkage.projections[i]
+                assert len(projection) == len(sub.component)
+                for vertex, block_index in zip(sorted(sub.component), projection):
+                    assert vertex in shrinkage.blocks[block_index]
+
+    def test_labeled_shrinkages_require_equal_labels(self):
+        # C and E carry different labels: the collision is impossible.
+        pattern = Pattern(
+            5, catalog.figure6_pattern().edge_set, labels=[0, 0, 1, 0, 2]
+        )
+        deco = decompose(pattern, (0, 1, 3))
+        assert len(deco.shrinkages) == 0
+        # Equal labels: the collision exists again.
+        pattern2 = Pattern(
+            5, catalog.figure6_pattern().edge_set, labels=[0, 0, 1, 0, 1]
+        )
+        deco2 = decompose(pattern2, (0, 1, 3))
+        assert len(deco2.shrinkages) == 1
+
+    def test_shrinkage_count_two_paths(self):
+        """Cutting a 6-cycle at opposite vertices leaves two 2-vertex
+        paths; partial matchings between two 2-sets: 2*2 + 2 = 6."""
+        deco = decompose(catalog.cycle(6), (0, 3))
+        assert len(deco.shrinkages) == 6
+
+    def test_describe_mentions_cutting_set(self):
+        deco = decompose(catalog.chain(3), (1,))
+        assert "VC=(1,)" in deco.describe()
+
+
+@given(st.integers(0, len(all_connected_patterns(5)) - 1))
+@settings(max_examples=21, deadline=None)
+def test_quotients_are_simple_connected(index):
+    pattern = all_connected_patterns(5)[index]
+    for deco in all_decompositions(pattern):
+        for shrinkage in deco.shrinkages:
+            quotient = shrinkage.pattern
+            # Simple by construction (would raise at build time otherwise);
+            # also connected: a quotient of a connected pattern.
+            assert quotient.is_connected
+            assert quotient.n == len(deco.cutting_set) + len(shrinkage.blocks)

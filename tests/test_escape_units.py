@@ -1,0 +1,83 @@
+"""Unit tests for ESCAPE's closed-form counts on hand-checkable graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.escape import Escape
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+
+
+@pytest.fixture()
+def paw_graph():
+    """Triangle 0-1-2 with a pendant 3 attached at 2 and a distant edge."""
+    return CSRGraph.from_edges(
+        6, [(0, 1), (0, 2), (1, 2), (2, 3), (4, 5)]
+    )
+
+
+@pytest.fixture()
+def k4_plus_tail():
+    """K4 on {0..3} plus a tail 3-4."""
+    return CSRGraph.from_edges(
+        5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]
+    )
+
+
+class TestSize3Formulas:
+    def test_wedges_and_triangles(self, paw_graph):
+        counts = Escape(paw_graph)._edge_induced_size3()
+        by_name = {p.name: c for p, c in counts.items()}
+        # Wedges: deg (2,2,3,1,1,1) -> C(2,2)*... = 1+1+3 = 5.
+        assert by_name["3-chain"] == 5
+        assert by_name["3-clique"] == 1
+
+    def test_k4(self, k4_graph):
+        counts = Escape(k4_graph)._edge_induced_size3()
+        by_name = {p.name: c for p, c in counts.items()}
+        assert by_name["3-chain"] == 12
+        assert by_name["3-clique"] == 4
+
+
+class TestSize4Formulas:
+    def test_k4_closed_forms(self, k4_graph):
+        counts = Escape(k4_graph)._edge_induced_size4()
+        by_name = {p.name: c for p, c in counts.items()}
+        assert by_name["4-clique"] == 1
+        assert by_name["diamond"] == 6      # choose the missing edge
+        assert by_name["4-cycle"] == 3
+        assert by_name["tailed-triangle"] == 12
+        assert by_name["4-chain"] == 12
+        assert by_name["3-star"] == 4
+
+    def test_k4_plus_tail_spot_checks(self, k4_plus_tail):
+        from repro.baselines import reference
+
+        counts = Escape(k4_plus_tail)._edge_induced_size4()
+        for pattern, value in counts.items():
+            assert value == reference.count_embeddings(
+                k4_plus_tail, pattern
+            ), pattern.name
+
+    def test_four_cycles_on_cycle_graph(self):
+        c6 = CSRGraph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        counts = Escape(c6)._edge_induced_size4()
+        by_name = {p.name: c for p, c in counts.items()}
+        assert by_name["4-cycle"] == 0
+        assert by_name["4-chain"] == 6
+
+    def test_statistics_cached(self, k4_graph):
+        escape = Escape(k4_graph)
+        first = escape._statistics()
+        assert escape._statistics() is first
+
+
+class TestVertexInducedCensus:
+    def test_paw_vertex_induced(self, paw_graph):
+        census = {
+            p.name: c for p, c in Escape(paw_graph).motif_census(3).items()
+        }
+        # Vertex-induced: wedges exclude the closed triangle's three.
+        assert census["motif3_1"] == 1  # the triangle
+        assert census["motif3_0"] == 2  # open wedges: (0,2,3), (1,2,3)

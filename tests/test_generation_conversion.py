@@ -1,0 +1,121 @@
+"""Tests for pattern generation and EI<->VI count conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import reference
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+from repro.patterns.conversion import (
+    conversion_matrix,
+    edge_induced_requirements,
+    spanning_subgraph_count,
+    vertex_induced_from_edge_induced,
+)
+from repro.patterns.generation import (
+    all_connected_patterns,
+    all_connected_patterns_up_to,
+    patterns_with_edge_budget,
+)
+from repro.patterns.isomorphism import are_isomorphic, canonical_code
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("k,expected", [(1, 1), (2, 1), (3, 2), (4, 6),
+                                            (5, 21), (6, 112)])
+    def test_counts_match_oeis_a001349(self, k, expected):
+        assert len(all_connected_patterns(k)) == expected
+
+    def test_patterns_are_connected_and_distinct(self):
+        patterns = all_connected_patterns(5)
+        codes = {canonical_code(p) for p in patterns}
+        assert len(codes) == len(patterns)
+        assert all(p.is_connected for p in patterns)
+
+    def test_ordering_stable_by_edge_count(self):
+        patterns = all_connected_patterns(4)
+        edges = [p.num_edges for p in patterns]
+        assert edges == sorted(edges)
+        assert edges[0] == 3 and edges[-1] == 6
+
+    def test_up_to(self):
+        assert len(all_connected_patterns_up_to(4)) == 1 + 1 + 2 + 6
+
+    def test_edge_budget(self):
+        skeletons = patterns_with_edge_budget(3)
+        assert all(p.num_edges <= 3 for p in skeletons)
+        # 1 edge, 2-path, triangle, 3-path, 3-star: the 5 FSM skeletons.
+        assert len(skeletons) == 5
+
+
+class TestSpanningCounts:
+    def test_chain_in_triangle(self):
+        assert spanning_subgraph_count(catalog.chain(3), catalog.triangle()) == 3
+
+    def test_chain4_in_cycle4(self):
+        assert spanning_subgraph_count(catalog.chain(4), catalog.cycle(4)) == 4
+
+    def test_self_count_is_one(self):
+        for p in all_connected_patterns(4):
+            assert spanning_subgraph_count(p, p) == 1
+
+    def test_size_mismatch_zero(self):
+        assert spanning_subgraph_count(catalog.chain(3), catalog.clique(4)) == 0
+
+
+class TestConversion:
+    def test_matrix_unitriangular(self):
+        patterns, matrix = conversion_matrix(4)
+        for i in range(len(patterns)):
+            assert matrix[i][i] == 1
+            for j in range(len(patterns)):
+                if matrix[i][j] and i != j:
+                    assert patterns[j].num_edges > patterns[i].num_edges
+
+    def test_paper_figure4_row(self):
+        """VI(3-chain) = EI(3-chain) - 3 * EI(triangle)."""
+        requirements = dict(edge_induced_requirements(catalog.chain(3)))
+        by_iso = {
+            ("chain", True): 0
+        }
+        chain_coeff = None
+        tri_coeff = None
+        for host, coeff in requirements.items():
+            if are_isomorphic(host, catalog.chain(3)):
+                chain_coeff = coeff
+            elif are_isomorphic(host, catalog.triangle()):
+                tri_coeff = coeff
+        assert chain_coeff == 1
+        assert tri_coeff == -3
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_census_conversion_matches_bruteforce(self, k):
+        graph = erdos_renyi(13, 0.4, seed=21)
+        edge_induced = {
+            p: reference.count_embeddings(graph, p)
+            for p in all_connected_patterns(k)
+        }
+        census = vertex_induced_from_edge_induced(k, edge_induced)
+        for pattern, value in census.items():
+            assert value == reference.count_embeddings(
+                graph, pattern, induced=True
+            ), pattern.name
+
+    def test_requirements_match_single_pattern(self):
+        graph = erdos_renyi(12, 0.45, seed=3)
+        for pattern in all_connected_patterns(4)[:4]:
+            total = sum(
+                coeff * reference.count_embeddings(graph, host)
+                for host, coeff in edge_induced_requirements(pattern)
+            )
+            assert total == reference.count_embeddings(
+                graph, pattern, induced=True
+            )
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            edge_induced_requirements(
+                __import__("repro.patterns.pattern", fromlist=["Pattern"])
+                .Pattern(3, [(0, 1)])
+            )

@@ -1,0 +1,134 @@
+"""Tests for graph loaders/writers and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+from repro.graph import generators as gen
+from repro.graph import datasets
+from repro.graph.properties import (
+    collect_statistics,
+    connection_probability,
+    estimate_local_probability,
+)
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        io.save_edge_list(tiny_graph, path)
+        loaded = io.load_edge_list(path)
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert set(loaded.edges()) == set(tiny_graph.edges())
+
+    def test_edge_list_comments_and_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n10 20\n20 30\n\n% other comment\n10 30\n")
+        g = io.load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_edge_list_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            io.load_edge_list(path)
+
+    def test_labeled_roundtrip(self, tmp_path):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], labels=[0, 2, 1],
+                                name="lab")
+        path = tmp_path / "g.lg"
+        io.save_labeled_graph(g, path)
+        loaded = io.load_labeled_graph(path)
+        assert loaded.num_edges == 2
+        assert [loaded.label_of(v) for v in range(3)] == [0, 2, 1]
+
+    def test_save_labeled_requires_labels(self, tmp_path, k4_graph):
+        with pytest.raises(ValueError):
+            io.save_labeled_graph(k4_graph, tmp_path / "x.lg")
+
+
+class TestGenerators:
+    def test_erdos_renyi_deterministic(self):
+        a = gen.erdos_renyi(30, 0.2, seed=5)
+        b = gen.erdos_renyi(30, 0.2, seed=5)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_erdos_renyi_density(self):
+        g = gen.erdos_renyi(60, 0.3, seed=1)
+        expected = 0.3 * 60 * 59 / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_rmat_shape(self):
+        g = gen.rmat(scale=7, edge_factor=4, seed=2)
+        assert g.num_vertices == 128
+        assert g.num_edges > 100
+        # R-MAT is skewed: the max degree dwarfs the average.
+        assert g.max_degree > 3 * g.avg_degree
+
+    def test_power_law_skew(self):
+        g = gen.power_law(200, avg_degree=8.0, seed=3)
+        assert g.max_degree > 2.5 * g.avg_degree
+
+    def test_small_world_clustering(self):
+        g = gen.small_world(120, k=8, rewire=0.1, seed=4)
+        from repro.graph.properties import average_clustering
+
+        assert average_clustering(g) > 0.2
+
+    def test_small_world_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            gen.small_world(10, k=3)
+
+    def test_planted_communities_labeled(self):
+        g = gen.planted_communities(50, 4, 0.3, 0.02, num_labels=5, seed=6)
+        assert g.is_labeled
+        assert 0 < g.num_labels() <= 5
+
+    def test_attach_random_labels(self, k4_graph):
+        g = gen.attach_random_labels(k4_graph, 3, seed=1)
+        assert g.is_labeled
+        assert set(g.edges()) == set(k4_graph.edges())
+
+
+class TestDatasets:
+    def test_registry_covers_paper_table1(self):
+        assert set(datasets.available()) == {
+            "cs", "ee", "wk", "mc", "pt", "lj", "fr", "rmat"
+        }
+
+    def test_load_by_abbreviation_and_name(self):
+        assert datasets.load("cs") is datasets.load("citeseer")
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError):
+            datasets.load("nope")
+
+    def test_labeled_datasets(self):
+        for abbr in ("cs", "ee", "mc"):
+            assert datasets.load(abbr).is_labeled, abbr
+
+    def test_relative_size_ordering_matches_paper(self):
+        sizes = {a: datasets.load(a).num_edges for a in ("cs", "wk", "lj", "fr")}
+        assert sizes["cs"] < sizes["wk"] < sizes["lj"] < sizes["fr"]
+
+    def test_memoization(self):
+        assert datasets.load("wk") is datasets.load("wk")
+
+
+class TestProperties:
+    def test_connection_probability(self, k4_graph):
+        assert connection_probability(k4_graph) == pytest.approx(3 / 4)
+
+    def test_local_probability_on_clique_is_one(self, k4_graph):
+        assert estimate_local_probability(k4_graph, samples=200) == 1.0
+
+    def test_collect_statistics(self, tiny_graph):
+        stats = collect_statistics(tiny_graph)
+        assert stats.num_vertices == tiny_graph.num_vertices
+        assert stats.num_edges == tiny_graph.num_edges
+        assert 0.0 <= stats.local_probability <= 1.0
+        assert 0.0 <= stats.clustering <= 1.0

@@ -1,0 +1,94 @@
+"""Integration tests on the shipped dataset analogues.
+
+These exercise the library exactly as the benchmarks do — real registry
+graphs, cached profiles, compiled plans — and pin down cross-system
+agreement plus a few absolute counts that must stay stable (the registry
+is fixed-seed, so any change here means a generator changed behaviour).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    DecoMineMiner,
+    count_cliques,
+    count_cycles,
+    count_motifs,
+    frequent_subgraph_mining,
+    total_motif_embeddings,
+)
+from repro.bench import make_system, session_for
+from repro.graph import datasets
+from repro.patterns import catalog
+
+
+@pytest.fixture(scope="module")
+def cs():
+    return datasets.load("cs")
+
+
+@pytest.fixture(scope="module")
+def ee():
+    return datasets.load("ee")
+
+
+class TestCrossSystemAgreement:
+    def test_triangle_counts_all_systems(self, ee):
+        systems = [make_system(name, ee) for name in
+                   ("decomine", "automine", "peregrine", "graphpi(count)",
+                    "fractal", "escape")]
+        counts = {s.name: s.count(catalog.triangle()) for s in systems}
+        assert len(set(counts.values())) == 1, counts
+        assert counts["decomine"] == count_cliques(ee, 3)
+
+    def test_4mc_census_decomine_vs_escape(self, ee):
+        ours = count_motifs(make_system("decomine", ee), 4)
+        theirs = count_motifs(make_system("escape", ee), 4)
+        from repro.patterns.isomorphism import canonical_code
+
+        assert {canonical_code(p): c for p, c in ours.items()} == \
+            {canonical_code(p): c for p, c in theirs.items()}
+
+    def test_cycle_counts_decomine_vs_peregrine(self, cs):
+        for k in (4, 5, 6):
+            a = count_cycles(make_system("decomine", cs), k)
+            b = count_cycles(make_system("peregrine", cs), k)
+            assert a == b, k
+
+
+class TestStableCounts:
+    """Absolute values pinned against the fixed-seed registry."""
+
+    def test_citeseer_triangles(self, cs):
+        assert make_system("decomine", cs).count(catalog.triangle()) == 11
+
+    def test_emaileucore_shape(self, ee):
+        assert ee.num_vertices == 200
+        assert ee.num_edges == 1141
+        assert make_system("decomine", ee).count(catalog.triangle()) == 1476
+
+    def test_census_totals_are_deterministic(self, cs):
+        census = count_motifs(make_system("decomine", cs), 3)
+        assert total_motif_embeddings(census) == 790
+
+
+class TestSessionOnDatasets:
+    def test_vertex_induced_routing_on_registry_graph(self, ee):
+        session = session_for(ee)
+        ei = session.get_pattern_count(catalog.chain(4))
+        vi = session.get_pattern_count(catalog.chain(4), induced=True)
+        assert 0 < vi < ei
+
+    def test_fsm_on_mico_analogue(self):
+        graph = datasets.load("mc")
+        miner = DecoMineMiner(session_for(graph))
+        result = frequent_subgraph_mining(miner, graph, min_support=40)
+        assert result.num_frequent >= 0
+        for item in result.frequent:
+            assert item.support >= 40
+            assert item.pattern.num_edges <= 3
+
+    def test_labeled_registry_graphs_support_fsm(self):
+        for name in ("cs", "ee", "mc"):
+            assert datasets.load(name).is_labeled, name

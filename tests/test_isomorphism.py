@@ -1,0 +1,151 @@
+"""Tests for isomorphism, canonical codes and automorphism groups.
+
+networkx serves as an independent oracle for the property tests (it is a
+test-only dependency; the library itself never imports it).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import catalog
+from repro.patterns.isomorphism import (
+    are_isomorphic,
+    automorphism_count,
+    automorphisms,
+    canonical_code,
+    canonical_form,
+    find_isomorphism,
+    orbits,
+)
+from repro.patterns.pattern import Pattern
+
+
+def random_pattern(draw, n):
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.integers(0, 2 ** len(possible) - 1))
+    edges = [e for k, e in enumerate(possible) if mask >> k & 1]
+    return Pattern(n, edges)
+
+
+@st.composite
+def patterns(draw, max_n=5):
+    n = draw(st.integers(2, max_n))
+    return random_pattern(draw, n)
+
+
+@st.composite
+def pattern_with_permutation(draw, max_n=5):
+    p = draw(patterns(max_n))
+    perm = draw(st.permutations(range(p.n)))
+    return p, tuple(perm)
+
+
+class TestKnownGroups:
+    @pytest.mark.parametrize("pattern,expected", [
+        (catalog.triangle(), 6),
+        (catalog.chain(3), 2),
+        (catalog.chain(4), 2),
+        (catalog.cycle(4), 8),
+        (catalog.cycle(5), 10),
+        (catalog.clique(4), 24),
+        (catalog.star(3), 6),
+        (catalog.tailed_triangle(), 2),
+        (catalog.diamond(), 4),
+    ])
+    def test_automorphism_counts(self, pattern, expected):
+        assert automorphism_count(pattern) == expected
+
+    def test_automorphisms_are_valid(self):
+        p = catalog.cycle(5)
+        for perm in automorphisms(p):
+            for u, v in p.edge_set:
+                assert p.has_edge(perm[u], perm[v])
+
+    def test_labels_restrict_automorphisms(self):
+        unlabeled = Pattern(3, [(0, 1), (1, 2)])
+        labeled = Pattern(3, [(0, 1), (1, 2)], labels=[0, 1, 2])
+        assert automorphism_count(unlabeled) == 2
+        assert automorphism_count(labeled) == 1
+
+    def test_orbits_of_star(self):
+        orbs = orbits(catalog.star(3))
+        assert frozenset({0}) in orbs
+        assert frozenset({1, 2, 3}) in orbs
+
+
+class TestCanonical:
+    def test_isomorphic_relabelings_share_code(self):
+        p = catalog.house()
+        q = p.relabeled((3, 1, 4, 0, 2))
+        assert canonical_code(p) == canonical_code(q)
+        assert are_isomorphic(p, q)
+
+    def test_non_isomorphic_differ(self):
+        assert not are_isomorphic(catalog.chain(4), catalog.star(3))
+
+    def test_labeled_codes_distinguish(self):
+        a = Pattern(2, [(0, 1)], labels=[0, 1])
+        b = Pattern(2, [(0, 1)], labels=[0, 0])
+        assert canonical_code(a) != canonical_code(b)
+
+    def test_labeled_iso_respects_labels(self):
+        a = Pattern(3, [(0, 1), (1, 2)], labels=[7, 5, 7])
+        b = Pattern(3, [(0, 1), (1, 2)], labels=[5, 7, 7])
+        assert not are_isomorphic(a, b)
+        c = a.relabeled((2, 1, 0))
+        assert are_isomorphic(a, c)
+
+    def test_canonical_form_is_isomorphic_and_stable(self):
+        p = catalog.gem()
+        c = canonical_form(p)
+        assert are_isomorphic(p, c)
+        assert canonical_form(c) == c
+
+    def test_find_isomorphism_valid(self):
+        p = catalog.bowtie()
+        q = p.relabeled((4, 2, 0, 1, 3))
+        mapping = find_isomorphism(p, q)
+        assert mapping is not None
+        for u, v in p.edge_set:
+            assert q.has_edge(mapping[u], mapping[v])
+
+    def test_find_isomorphism_none(self):
+        assert find_isomorphism(catalog.chain(3), catalog.triangle()) is None
+
+
+class TestPropertyBased:
+    @given(pattern_with_permutation())
+    @settings(max_examples=60, deadline=None)
+    def test_relabeling_preserves_code(self, data):
+        p, perm = data
+        assert canonical_code(p) == canonical_code(p.relabeled(perm))
+
+    @given(patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_code_agreement_with_networkx(self, p):
+        """Two patterns get equal codes iff networkx deems them isomorphic."""
+        q_edges = [(i, j) for i in range(p.n) for j in range(i + 1, p.n)
+                   if not p.has_edge(i, j)]
+        q = Pattern(p.n, q_edges)  # complement: a structured comparator
+        g1 = nx.Graph(p.edges())
+        g1.add_nodes_from(range(p.n))
+        g2 = nx.Graph(q.edges())
+        g2.add_nodes_from(range(q.n))
+        assert (canonical_code(p) == canonical_code(q)) == nx.is_isomorphic(
+            g1, g2
+        )
+
+    @given(patterns(max_n=5))
+    @settings(max_examples=40, deadline=None)
+    def test_automorphism_group_closure(self, p):
+        group = set(automorphisms(p))
+        identity = tuple(range(p.n))
+        assert identity in group
+        for a in list(group)[:6]:
+            for b in list(group)[:6]:
+                composed = tuple(a[b[v]] for v in range(p.n))
+                assert composed in group

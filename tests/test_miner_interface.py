@@ -1,0 +1,65 @@
+"""Protocol conformance: every system satisfies the Miner interface."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.interface import DecoMineMiner, Miner
+from repro.bench.workloads import SYSTEM_NAMES, make_system
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(15, 0.3, seed=3)
+
+
+class TestProtocol:
+    def test_every_registered_system_is_a_miner(self, graph):
+        for name in SYSTEM_NAMES:
+            system = make_system(name, graph)
+            assert isinstance(system, Miner), name
+            assert callable(system.count)
+            assert callable(system.domains)
+
+    def test_decomine_adapter_name(self, graph):
+        miner = DecoMineMiner.for_graph(graph)
+        assert miner.name == "decomine"
+        assert miner.session.graph is graph
+
+    def test_census_capability_detection(self, graph):
+        from repro.apps.motif_counting import count_motifs
+
+        class MinimalMiner:
+            name = "minimal"
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def count(self, pattern, induced=False):
+                return self.inner.count(pattern, induced=induced)
+
+            def domains(self, pattern):
+                return self.inner.domains(pattern)
+
+        # A miner without motif_census falls back to per-pattern counts.
+        inner = DecoMineMiner.for_graph(graph)
+        minimal = MinimalMiner(inner)
+        assert count_motifs(minimal, 3) == count_motifs(inner, 3)
+
+
+class TestCollectScript:
+    def test_collect_experiments_runs(self, tmp_path):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        script = root / "scripts" / "collect_experiments.py"
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, cwd=root,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "wrote EXPERIMENTS.md" in result.stdout
+        assert (root / "EXPERIMENTS.md").exists()

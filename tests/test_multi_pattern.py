@@ -1,0 +1,114 @@
+"""Tests for cross-pattern computation reuse (merged plans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AutoMineInHouse, reference
+from repro.compiler.codegen import compile_root
+from repro.compiler.multi import (
+    MergedPlan,
+    build_merged_direct,
+    census_accumulator,
+)
+from repro.compiler.specs import DirectSpec
+from repro.exceptions import CompilationError
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.isomorphism import automorphism_count, canonical_code
+from repro.patterns.matching_order import connected_orders
+from repro.patterns.symmetry import symmetry_breaking_restrictions
+from repro.runtime.context import ExecutionContext
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(22, 0.3, seed=31)
+
+
+def census_specs(k: int, induced: bool) -> list[DirectSpec]:
+    specs = []
+    for pattern in all_connected_patterns(k):
+        restrictions = (
+            tuple(symmetry_breaking_restrictions(pattern))
+            if automorphism_count(pattern) > 1 else ()
+        )
+        specs.append(DirectSpec(
+            pattern, connected_orders(pattern)[0],
+            restrictions=restrictions, induced=induced,
+        ))
+    return specs
+
+
+def run_merged(plan: MergedPlan, graph) -> list[int]:
+    function, _ = compile_root(plan.root)
+    accumulators = function(graph, ExecutionContext())
+    return [
+        accumulators[census_accumulator(i)] // plan.divisors[i]
+        for i in range(len(plan.patterns))
+    ]
+
+
+class TestMergedPlans:
+    @pytest.mark.parametrize("k,induced", [(3, True), (3, False),
+                                           (4, True), (4, False)])
+    def test_counts_match_bruteforce(self, graph, k, induced):
+        specs = census_specs(k, induced)
+        plan = build_merged_direct(specs)
+        counts = run_merged(plan, graph)
+        for spec, got in zip(specs, counts):
+            want = reference.count_embeddings(graph, spec.pattern,
+                                              induced=induced)
+            assert got == want, spec.pattern.name
+
+    def test_prefixes_actually_shared(self):
+        plan = build_merged_direct(census_specs(4, True))
+        assert plan.shared_loops > 0
+        assert 0.0 < plan.reuse_ratio < 1.0
+        # The figure-5 pair: 4-clique and tailed-triangle share levels.
+        assert plan.total_loops == 4 * len(plan.patterns)
+
+    def test_single_spec_merge_is_identity_count(self, graph):
+        spec = census_specs(3, True)[0]
+        plan = build_merged_direct([spec])
+        assert plan.shared_loops == 0
+        counts = run_merged(plan, graph)
+        assert counts[0] == reference.count_embeddings(
+            graph, spec.pattern, induced=True
+        )
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(CompilationError):
+            build_merged_direct([])
+
+    def test_mixed_induced_flags_never_share(self, graph):
+        pattern = catalog.chain(3)
+        specs = [
+            DirectSpec(pattern, (0, 1, 2), induced=False),
+            DirectSpec(pattern, (0, 1, 2), induced=True),
+        ]
+        plan = build_merged_direct(specs)
+        # Induced flag is part of the signature: nothing merges.
+        assert plan.shared_loops == 0
+        counts = run_merged(plan, graph)
+        assert counts[0] == reference.count_embeddings(graph, pattern) * \
+            automorphism_count(pattern) // automorphism_count(pattern)
+        assert counts[1] == reference.count_embeddings(graph, pattern,
+                                                       induced=True)
+
+
+class TestAutoMineCensusReuse:
+    def test_reuse_census_equals_plain_census(self, graph):
+        with_reuse = AutoMineInHouse(graph, computation_reuse=True)
+        without = AutoMineInHouse(graph, computation_reuse=False)
+        a = {canonical_code(p): c for p, c in with_reuse.motif_census(4).items()}
+        b = {canonical_code(p): c for p, c in without.motif_census(4).items()}
+        assert a == b
+
+    def test_census_matches_oracle(self, graph):
+        census = AutoMineInHouse(graph).motif_census(3)
+        for pattern, value in census.items():
+            assert value == reference.count_embeddings(
+                graph, pattern, induced=True
+            )

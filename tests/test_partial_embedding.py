@@ -1,0 +1,96 @@
+"""Unit tests for partial embeddings and materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import reference
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+from repro.runtime.partial_embedding import PartialEmbedding, materialize
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return CSRGraph.from_edges(
+        8,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5),
+         (5, 6), (6, 7), (4, 7)],
+        name="pe-test",
+    )
+
+
+class TestPartialEmbedding:
+    def test_mapping_and_missing(self):
+        pe = PartialEmbedding(catalog.house(), 0, (0, 1, 3), (10, 11, 12), 4)
+        assert pe.mapping == {0: 10, 1: 11, 3: 12}
+        assert pe.missing_vertices == (2, 4)
+
+    def test_as_tuple_renders_stars(self):
+        pe = PartialEmbedding(catalog.chain(4), 1, (0, 1), (5, 6), 2)
+        assert pe.as_tuple() == (5, 6, "*", "*")
+        assert str(pe) == "(5, 6, *, *)"
+
+    def test_whole_embedding_has_no_missing(self):
+        pe = PartialEmbedding(
+            catalog.triangle(), 0, (0, 1, 2), (3, 4, 5), 1
+        )
+        assert pe.missing_vertices == ()
+        assert "*" not in pe.as_tuple()
+
+
+class TestMaterialize:
+    def test_expands_to_exact_extensions(self, graph):
+        pattern = catalog.chain(3)  # A-B-C
+        # Fix B=1, A=0: extensions = neighbors of 1 except 0.
+        pe = PartialEmbedding(pattern, 0, (0, 1), (0, 1), count=0)
+        expansions = list(materialize(graph, pe))
+        expected_c = set(graph.neighbors(1).tolist()) - {0}
+        assert {m[2] for m in expansions} == expected_c
+        for mapping in expansions:
+            assert mapping[0] == 0 and mapping[1] == 1
+
+    def test_num_limits_output(self, graph):
+        pattern = catalog.chain(3)
+        pe = PartialEmbedding(pattern, 0, (0, 1), (0, 1), count=0)
+        assert len(list(materialize(graph, pe, num=1))) == 1
+        assert list(materialize(graph, pe, num=0)) == []
+
+    def test_whole_embedding_materializes_itself(self, graph):
+        pattern = catalog.triangle()
+        pe = PartialEmbedding(pattern, 0, (0, 1, 2), (0, 1, 2), count=1)
+        assert list(materialize(graph, pe)) == [{0: 0, 1: 1, 2: 2}]
+
+    def test_respects_injectivity_and_edges(self, graph):
+        pattern = catalog.cycle(4)
+        pe = PartialEmbedding(pattern, 0, (0, 1), (1, 2), count=0)
+        for mapping in materialize(graph, pe):
+            values = list(mapping.values())
+            assert len(set(values)) == len(values)
+            for u, v in pattern.edge_set:
+                assert graph.has_edge(mapping[u], mapping[v])
+
+    def test_labeled_materialization(self):
+        graph = CSRGraph.from_edges(
+            5, [(0, 1), (1, 2), (1, 3), (1, 4)], labels=[0, 1, 0, 0, 1],
+        )
+        pattern = Pattern(3, [(0, 1), (1, 2)], labels=[0, 1, 1])
+        pe = PartialEmbedding(pattern, 0, (0, 1), (0, 1), count=0)
+        expansions = list(materialize(graph, pe))
+        assert {m[2] for m in expansions} == {4}  # only label-1 neighbor
+
+    def test_count_agrees_with_extension_count(self, graph):
+        """For a pe produced by hand, materialize() yields exactly the
+        number of injective homs extending it."""
+        pattern = catalog.tailed_triangle()
+        base = {0: 1, 1: 2, 2: 3}
+        pe = PartialEmbedding(
+            pattern, 0, tuple(base), tuple(base.values()), count=0
+        )
+        expansions = list(materialize(graph, pe))
+        oracle = sum(
+            1 for a in reference._assignments(graph, pattern, False)
+            if all(a[v] == g for v, g in base.items())
+        )
+        assert len(expansions) == oracle

@@ -1,0 +1,139 @@
+"""Tests for the Pattern class and named catalog patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern(3, [(0, 1), (1, 2)])
+        assert p.num_vertices == 3
+        assert p.num_edges == 2
+        assert p.has_edge(1, 0)
+        assert not p.has_edge(0, 2)
+
+    def test_duplicate_edges_collapse(self):
+        p = Pattern(2, [(0, 1), (1, 0)])
+        assert p.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 2)])
+
+    def test_size_bounds(self):
+        with pytest.raises(PatternError):
+            Pattern(0, [])
+        with pytest.raises(PatternError):
+            Pattern(11, [])
+
+    def test_label_length_checked(self):
+        with pytest.raises(PatternError):
+            Pattern(3, [(0, 1)], labels=[1, 2])
+
+    def test_equality_structural(self):
+        assert Pattern(3, [(0, 1)]) == Pattern(3, [(0, 1)])
+        assert Pattern(3, [(0, 1)]) != Pattern(3, [(1, 2)])
+        assert Pattern(3, [(0, 1)], labels=[0, 0, 0]) != Pattern(3, [(0, 1)])
+
+    def test_hashable(self):
+        assert len({Pattern(2, [(0, 1)]), Pattern(2, [(0, 1)])}) == 1
+
+
+class TestStructure:
+    def test_connectivity(self):
+        assert Pattern(3, [(0, 1), (1, 2)]).is_connected
+        assert not Pattern(3, [(0, 1)]).is_connected
+        assert Pattern(1, []).is_connected
+
+    def test_is_clique(self):
+        assert catalog.clique(4).is_clique
+        assert not catalog.cycle(4).is_clique
+
+    def test_connected_components_after_removal(self):
+        chain = catalog.chain(5)
+        components = chain.connected_components(removed=[2])
+        assert sorted(components) == [(0, 1), (3, 4)]
+
+    def test_components_no_removal(self):
+        assert catalog.cycle(4).connected_components() == [(0, 1, 2, 3)]
+
+    def test_induced_subpattern_relabels(self):
+        p = catalog.cycle(4)
+        sub = p.induced_subpattern([1, 2, 3])
+        assert sub.n == 3
+        assert sub.edges() == [(0, 1), (1, 2)]
+
+    def test_induced_subpattern_duplicate_rejected(self):
+        with pytest.raises(PatternError):
+            catalog.cycle(4).induced_subpattern([1, 1])
+
+    def test_with_edge(self):
+        p = catalog.chain(3).with_edge(0, 2)
+        assert p.num_edges == 3
+        assert p.is_clique
+
+    def test_relabeled(self):
+        p = Pattern(3, [(0, 1)], labels=[5, 6, 7])
+        q = p.relabeled((2, 0, 1))  # old 0 -> new 2 etc.
+        assert q.has_edge(2, 0)
+        assert q.labels == (6, 7, 5)
+
+    def test_without_labels(self):
+        p = Pattern(2, [(0, 1)], labels=[1, 2])
+        assert p.without_labels().labels is None
+
+
+class TestCatalog:
+    def test_chain(self):
+        assert catalog.chain(5).num_edges == 4
+
+    def test_cycle(self):
+        c = catalog.cycle(6)
+        assert c.num_edges == 6
+        assert all(c.degree(v) == 2 for v in range(6))
+
+    def test_clique(self):
+        assert catalog.clique(5).num_edges == 10
+
+    def test_star(self):
+        s = catalog.star(4)
+        assert s.n == 5
+        assert s.degree(0) == 4
+
+    def test_minimum_sizes_rejected(self):
+        with pytest.raises(PatternError):
+            catalog.chain(1)
+        with pytest.raises(PatternError):
+            catalog.cycle(2)
+        with pytest.raises(PatternError):
+            catalog.star(0)
+
+    def test_pseudo_clique_patterns(self):
+        patterns = catalog.pseudo_clique_patterns(4)
+        assert len(patterns) == 2
+        assert patterns[0].is_clique
+        assert patterns[1].num_edges == 5
+
+    def test_figure6_pattern_decomposes_as_in_paper(self):
+        from repro.patterns.decomposition import decompose
+
+        p = catalog.figure6_pattern()
+        deco = decompose(p, (0, 1, 3))
+        subs = sorted(tuple(sorted(s.vertices)) for s in deco.subpatterns)
+        assert subs == [(0, 1, 2, 3), (0, 1, 3, 4)]
+
+    def test_figure11_patterns(self):
+        patterns = catalog.figure11_patterns()
+        assert set(patterns) == {"p1", "p2", "p3", "p4", "p5"}
+        for name, p in patterns.items():
+            assert p.is_connected
+            assert not p.is_clique, f"{name} must be decomposable"

@@ -1,0 +1,87 @@
+"""PLR in emit mode: compensation subtrees must deliver exactly the same
+partial embeddings (with the same counts) as the unrewritten plan."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.compiler.build import build_ast
+from repro.compiler.codegen import compile_root
+from repro.compiler.passes import optimize
+from repro.compiler.specs import DecompSpec
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+from repro.patterns.decomposition import all_decompositions
+from repro.patterns.matching_order import extension_orders
+from repro.runtime.context import ExecutionContext
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(15, 0.33, seed=42)
+
+
+def collect_emissions(spec, graph):
+    root, info = build_ast(spec, "emit")
+    optimize(root)
+    function, _ = compile_root(root)
+    emitted: dict = defaultdict(int)
+
+    def emit(index, vertices, count):
+        emitted[(index, vertices)] += count
+
+    function(graph, ExecutionContext(root.num_tables, emit=emit))
+    return dict(emitted)
+
+
+@pytest.mark.parametrize("pattern", [
+    catalog.cycle(4), catalog.cycle(5), catalog.house(), catalog.bowtie(),
+], ids=lambda p: p.name)
+def test_plr_emit_identical_partial_embeddings(pattern, graph):
+    for deco in all_decompositions(pattern):
+        if len(deco.cutting_set) < 2:
+            continue
+        ext = tuple(
+            extension_orders(pattern, deco.cutting_set, s.component)[0]
+            for s in deco.subpatterns
+        )
+        plain = DecompSpec(deco, deco.cutting_set, ext)
+        for plr_k in range(2, len(deco.cutting_set) + 1):
+            rewritten = DecompSpec(deco, deco.cutting_set, ext, plr_k=plr_k)
+            assert collect_emissions(plain, graph) == collect_emissions(
+                rewritten, graph
+            ), f"{pattern.name} plr_k={plr_k}"
+        break  # one multi-vertex cutting set per pattern suffices
+
+
+def test_plr_emit_hash_tables_cleared_per_instance(graph):
+    """Each PLR compensation instance clears the shrinkage tables before
+    filling them: the stamped table's clear counter equals the number of
+    e_C instances processed (canonical matches x |Aut(prefix)|)."""
+    pattern = catalog.cycle(4)
+    deco = next(
+        d for d in all_decompositions(pattern) if len(d.cutting_set) == 2
+    )
+    ext = tuple(
+        extension_orders(pattern, deco.cutting_set, s.component)[0]
+        for s in deco.subpatterns
+    )
+    spec = DecompSpec(deco, deco.cutting_set, ext, plr_k=2)
+    root, _ = build_ast(spec, "emit")
+    optimize(root)
+    function, _ = compile_root(root)
+    ctx = ExecutionContext(root.num_tables, emit=lambda i, v, c: None)
+    function(graph, ctx)
+    plain_root, _ = build_ast(
+        DecompSpec(deco, deco.cutting_set, ext), "emit"
+    )
+    optimize(plain_root)
+    plain_fn, _ = compile_root(plain_root)
+    plain_ctx = ExecutionContext(plain_root.num_tables,
+                                 emit=lambda i, v, c: None)
+    plain_fn(graph, plain_ctx)
+    # PLR restricts the canonical prefix enumeration but replays the body
+    # per automorphism: total per-e_C executions (and hence clears) match.
+    assert ctx.tables[0].clears == plain_ctx.tables[0].clears

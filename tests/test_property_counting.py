@@ -1,0 +1,106 @@
+"""Hypothesis property tests: the core correctness contract.
+
+For random graphs, random patterns, random cutting sets and random
+matching orders, every plan the compiler can produce must agree with the
+brute-force oracle.  This is the test family that guards the generalized
+decomposition identity (DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import random as pyrandom
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import reference
+from repro.compiler.build import COUNT_ACC, build_ast
+from repro.compiler.interpreter import run_interpreter
+from repro.compiler.passes import optimize
+from repro.compiler.codegen import compile_root
+from repro.compiler.search import random_spec
+from repro.graph.generators import erdos_renyi
+from repro.patterns.generation import all_connected_patterns
+from repro.runtime.context import ExecutionContext
+
+PATTERNS = [
+    p for size in (3, 4, 5) for p in all_connected_patterns(size)
+]
+
+
+@st.composite
+def graph_pattern_seed(draw):
+    graph_seed = draw(st.integers(0, 30))
+    density = draw(st.sampled_from([0.2, 0.3, 0.45]))
+    pattern = draw(st.sampled_from(PATTERNS))
+    spec_seed = draw(st.integers(0, 1000))
+    return graph_seed, density, pattern, spec_seed
+
+
+@given(graph_pattern_seed())
+@settings(max_examples=60, deadline=None)
+def test_random_plan_matches_bruteforce(case):
+    graph_seed, density, pattern, spec_seed = case
+    graph = erdos_renyi(12, density, seed=graph_seed)
+    spec = random_spec(pattern, pyrandom.Random(spec_seed), plr=True)
+    root, info = build_ast(spec, "count")
+    optimize(root)
+    fn, _ = compile_root(root)
+    raw = fn(graph, ExecutionContext(root.num_tables))[COUNT_ACC]
+    assert raw % info.divisor == 0
+    assert raw // info.divisor == reference.count_embeddings(graph, pattern)
+
+
+@given(graph_pattern_seed())
+@settings(max_examples=25, deadline=None)
+def test_random_plan_emit_counts_consistent(case):
+    """Σ over partial embeddings of count == injective matches, per
+    subpattern — the aggregate form of Algorithm 1's correctness."""
+    graph_seed, density, pattern, spec_seed = case
+    graph = erdos_renyi(11, density, seed=graph_seed)
+    spec = random_spec(pattern, pyrandom.Random(spec_seed))
+    root, info = build_ast(spec, "emit")
+    optimize(root)
+    totals: dict[int, int] = {}
+
+    def emit(index, vertices, count):
+        totals[index] = totals.get(index, 0) + count
+
+    fn, _ = compile_root(root)
+    fn(graph, ExecutionContext(root.num_tables, emit=emit))
+    inj = reference.count_injective_homomorphisms(graph, pattern)
+    # Direct plans with symmetry breaking emit one canonical assignment
+    # per embedding; the session layer replays automorphisms (tested in
+    # test_session).  At the raw plan level the total scales accordingly.
+    from repro.patterns.isomorphism import automorphism_count
+
+    expected = (
+        inj // automorphism_count(pattern)
+        if info.expand_automorphisms else inj
+    )
+    for index in range(len(info.emit_layouts)):
+        assert totals.get(index, 0) == expected
+
+
+@given(st.integers(0, 30), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_labeled_random_patterns(graph_seed, spec_seed):
+    """Random labeled patterns keep the identity exact (labels change the
+    shrinkage set: incompatible collisions disappear)."""
+    rng = pyrandom.Random(spec_seed)
+    base = rng.choice([p for p in PATTERNS if p.n <= 4])
+    from repro.patterns.pattern import Pattern
+
+    labels = [rng.randrange(2) for _ in range(base.n)]
+    pattern = Pattern(base.n, base.edge_set, labels=labels)
+    from repro.graph.generators import attach_random_labels
+
+    graph = attach_random_labels(
+        erdos_renyi(12, 0.35, seed=graph_seed), 2, seed=graph_seed
+    )
+    spec = random_spec(pattern, rng)
+    root, info = build_ast(spec, "count")
+    optimize(root)
+    fn, _ = compile_root(root)
+    raw = fn(graph, ExecutionContext(root.num_tables))[COUNT_ACC]
+    assert raw // info.divisor == reference.count_embeddings(graph, pattern)

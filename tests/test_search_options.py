@@ -1,0 +1,130 @@
+"""Tests for the search-space toggles and caps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.search import SearchOptions, enumerate_candidates, search
+from repro.compiler.specs import DecompSpec, DirectSpec
+from repro.costmodel import get_model, profile_graph
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_graph(erdos_renyi(20, 0.3, seed=9), max_pattern_size=3,
+                         trials=60)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model("approx_mining")
+
+
+def candidates(pattern, profile, model, **options):
+    return list(enumerate_candidates(
+        pattern, profile, model, options=SearchOptions(**options)
+    ))
+
+
+class TestToggles:
+    def test_disable_decomposition(self, profile, model):
+        kinds = {c.spec.kind for c in candidates(
+            catalog.house(), profile, model, enable_decomposition=False
+        )}
+        assert kinds == {"direct"}
+
+    def test_disable_direct(self, profile, model):
+        kinds = {c.spec.kind for c in candidates(
+            catalog.house(), profile, model, enable_direct=False
+        )}
+        assert kinds == {"decomp"}
+
+    def test_disable_plr(self, profile, model):
+        plr_values = {
+            c.spec.plr_k for c in candidates(
+                catalog.cycle(5), profile, model, enable_plr=False
+            )
+            if isinstance(c.spec, DecompSpec)
+        }
+        assert plr_values == {0}
+
+    def test_disable_symmetry_breaking(self, profile, model):
+        specs = [
+            c.spec for c in candidates(
+                catalog.triangle(), profile, model, symmetry_breaking=False
+            )
+            if isinstance(c.spec, DirectSpec)
+        ]
+        assert specs and all(not s.restrictions for s in specs)
+
+    def test_symmetry_breaking_default_on(self, profile, model):
+        specs = [
+            c.spec for c in candidates(catalog.triangle(), profile, model)
+            if isinstance(c.spec, DirectSpec)
+        ]
+        assert specs and all(s.restrictions for s in specs)
+
+
+class TestCaps:
+    def test_max_direct_orders(self, profile, model):
+        few = candidates(catalog.chain(4), profile, model,
+                         enable_decomposition=False, max_direct_orders=2)
+        many = candidates(catalog.chain(4), profile, model,
+                          enable_decomposition=False, max_direct_orders=6)
+        assert len(few) == 2
+        assert len(many) > len(few)
+
+    def test_full_eval_limit(self, profile, model):
+        limited = candidates(catalog.house(), profile, model,
+                             enable_direct=False, full_eval_limit=3)
+        assert len(limited) == 3
+
+    def test_max_shrinkages_excludes_star_cuts(self, profile, model):
+        # Every cut of the 5-star produces singleton components; its
+        # center-only cut alone has Bell(5)-1 = 51 shrinkage patterns.
+        specs = [
+            c.spec for c in candidates(
+                catalog.star(5), profile, model, max_shrinkages=0
+            )
+        ]
+        assert specs and all(s.kind == "direct" for s in specs)
+        allowed = [
+            c.spec for c in candidates(
+                catalog.star(5), profile, model, max_shrinkages=64
+            )
+        ]
+        assert any(s.kind == "decomp" for s in allowed)
+        assert all(
+            len(s.decomposition.shrinkages) <= 64
+            for s in (c for c in allowed) if isinstance(s, DecompSpec)
+        )
+
+    def test_prelim_ranking_keeps_best(self, profile, model):
+        """The two-phase search must find a plan no worse than a full
+        evaluation of every candidate."""
+        full = search(
+            catalog.gem(), profile, model,
+            options=SearchOptions(full_eval_limit=10 ** 9),
+        )
+        pruned = search(
+            catalog.gem(), profile, model,
+            options=SearchOptions(full_eval_limit=16),
+        )
+        assert pruned.cost <= full.cost * 1.25
+
+
+class TestSearchBehaviour:
+    def test_search_prefers_decomposition_for_chains(self, profile, model):
+        # 4-chains on a random graph: high counts, cheap cut — the
+        # decomposition should win the search.
+        best = search(catalog.chain(4), profile, model)
+        assert best.spec.kind == "decomp"
+
+    def test_emit_mode_search_produces_runnable_plan(self, profile, model):
+        best = search(catalog.house(), profile, model, mode="emit")
+        from repro.compiler.codegen import compile_root
+
+        function, _ = compile_root(best.root)
+        assert callable(function)

@@ -1,0 +1,116 @@
+"""Tests for symmetry-breaking restrictions and matching orders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import catalog
+from repro.patterns.generation import all_connected_patterns
+from repro.patterns.matching_order import (
+    connected_orders,
+    extension_orders,
+    greedy_extension_order,
+    is_connected_order,
+)
+from repro.patterns.symmetry import (
+    count_satisfying_orderings,
+    restriction_set_candidates,
+    symmetry_breaking_restrictions,
+)
+
+
+class TestSymmetryBreaking:
+    @pytest.mark.parametrize("pattern", [
+        catalog.triangle(), catalog.chain(4), catalog.cycle(5),
+        catalog.clique(4), catalog.star(3), catalog.diamond(),
+        catalog.house(), catalog.bowtie(),
+    ])
+    def test_exactly_one_ordering_survives(self, pattern):
+        """The defining property: for any distinct-value assignment,
+        exactly one automorphic variant satisfies the restrictions."""
+        restrictions = symmetry_breaking_restrictions(pattern)
+        rng = random.Random(42)
+        for _ in range(20):
+            values = tuple(rng.sample(range(1000), pattern.n))
+            assert count_satisfying_orderings(
+                pattern, restrictions, values
+            ) == 1
+
+    def test_asymmetric_pattern_needs_no_restrictions(self):
+        pattern = catalog.tailed_triangle().with_edge(0, 3)
+        # tailed triangle + chord: check restrictions are consistent anyway
+        restrictions = symmetry_breaking_restrictions(catalog.tailed_triangle())
+        assert count_satisfying_orderings(
+            catalog.tailed_triangle(), restrictions
+        ) == 1
+
+    def test_restriction_candidates_all_valid(self):
+        pattern = catalog.cycle(4)
+        candidates = restriction_set_candidates(pattern, limit=6)
+        assert len(candidates) >= 2  # GraphPi's premise: several valid sets
+        rng = random.Random(7)
+        for restrictions in candidates:
+            for _ in range(10):
+                values = tuple(rng.sample(range(100), pattern.n))
+                assert count_satisfying_orderings(
+                    pattern, restrictions, values
+                ) == 1
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=21, deadline=None)
+    def test_every_size5_pattern_restriction_valid(self, index):
+        pattern = all_connected_patterns(5)[index]
+        restrictions = symmetry_breaking_restrictions(pattern)
+        rng = random.Random(index)
+        for _ in range(10):
+            values = tuple(rng.sample(range(500), pattern.n))
+            assert count_satisfying_orderings(
+                pattern, restrictions, values
+            ) == 1
+
+
+class TestMatchingOrders:
+    def test_connected_orders_of_chain(self):
+        orders = connected_orders(catalog.chain(3))
+        assert (1, 0, 2) in orders
+        assert (0, 2, 1) not in orders  # 2 not adjacent to 0
+
+    def test_connected_orders_complete_for_clique(self):
+        assert len(connected_orders(catalog.triangle())) == 6
+
+    def test_is_connected_order(self):
+        chain = catalog.chain(4)
+        assert is_connected_order(chain, (1, 0, 2, 3))
+        assert not is_connected_order(chain, (0, 3, 1, 2))
+
+    def test_extension_orders_anchored(self):
+        cycle = catalog.cycle(6)
+        orders = extension_orders(cycle, (0, 3), (1, 2))
+        assert (1, 2) in orders
+        assert (2, 1) in orders
+
+    def test_extension_orders_respect_connectivity(self):
+        chain = catalog.chain(5)  # anchored at middle, extend one arm
+        orders = extension_orders(chain, (2,), (0, 1))
+        assert orders == [(1, 0)]  # 0 only reachable after 1
+
+    def test_greedy_extension_order_valid(self):
+        pattern = catalog.house()
+        anchored = [0]
+        rest = [v for v in range(pattern.n) if v != 0]
+        order = greedy_extension_order(pattern, anchored, rest)
+        matched = {0}
+        for v in order:
+            assert pattern.neighbors(v) & matched
+            matched.add(v)
+
+    def test_greedy_extension_order_unreachable_raises(self):
+        from repro.patterns.pattern import Pattern
+
+        disconnected = Pattern(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            greedy_extension_order(disconnected, [0], [2])

@@ -1,0 +1,130 @@
+"""Unit and property tests for the sorted-array vertex set algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import vertex_set as vs
+
+
+def arr(*values):
+    return np.asarray(values, dtype=vs.DTYPE)
+
+
+sets = st.lists(st.integers(0, 200), max_size=40).map(
+    lambda xs: np.unique(np.asarray(xs, dtype=vs.DTYPE))
+)
+
+
+class TestBasicOps:
+    def test_intersect(self):
+        assert vs.intersect(arr(1, 3, 5), arr(3, 4, 5)).tolist() == [3, 5]
+
+    def test_intersect_disjoint(self):
+        assert vs.intersect(arr(1, 2), arr(3, 4)).size == 0
+
+    def test_intersect_empty(self):
+        assert vs.intersect(vs.EMPTY, arr(1, 2)).size == 0
+        assert vs.intersect(arr(1, 2), vs.EMPTY).size == 0
+
+    def test_subtract(self):
+        assert vs.subtract(arr(1, 2, 3, 4), arr(2, 4)).tolist() == [1, 3]
+
+    def test_subtract_empty_rhs(self):
+        assert vs.subtract(arr(1, 2), vs.EMPTY).tolist() == [1, 2]
+
+    def test_exclude_single(self):
+        assert vs.exclude(arr(1, 2, 3), 2).tolist() == [1, 3]
+
+    def test_exclude_multiple(self):
+        assert vs.exclude(arr(1, 2, 3, 4), 1, 4).tolist() == [2, 3]
+
+    def test_exclude_absent_value(self):
+        assert vs.exclude(arr(1, 3), 2).tolist() == [1, 3]
+
+    def test_exclude_nothing(self):
+        a = arr(1, 2)
+        assert vs.exclude(a).tolist() == [1, 2]
+
+    def test_trim_below(self):
+        assert vs.trim_below(arr(1, 3, 5, 7), 5).tolist() == [1, 3]
+
+    def test_trim_above(self):
+        assert vs.trim_above(arr(1, 3, 5, 7), 3).tolist() == [5, 7]
+
+    def test_trim_bounds_are_strict(self):
+        assert vs.trim_below(arr(5), 5).size == 0
+        assert vs.trim_above(arr(5), 5).size == 0
+
+    def test_contains(self):
+        assert vs.contains(arr(1, 5, 9), 5)
+        assert not vs.contains(arr(1, 5, 9), 4)
+        assert not vs.contains(vs.EMPTY, 0)
+
+    def test_as_vertex_set_dedups_and_sorts(self):
+        assert vs.as_vertex_set([5, 1, 5, 3]).tolist() == [1, 3, 5]
+
+    def test_union(self):
+        assert vs.union(arr(1, 3), arr(2, 3)).tolist() == [1, 2, 3]
+
+
+class TestSizeVariants:
+    def test_intersect_size(self):
+        assert vs.intersect_size(arr(1, 2, 3), arr(2, 3, 4)) == 2
+
+    def test_subtract_size(self):
+        assert vs.subtract_size(arr(1, 2, 3), arr(2)) == 2
+
+    def test_sizes_on_empty(self):
+        assert vs.intersect_size(vs.EMPTY, arr(1)) == 0
+        assert vs.subtract_size(vs.EMPTY, arr(1)) == 0
+        assert vs.subtract_size(arr(1, 2), vs.EMPTY) == 2
+
+
+class TestProperties:
+    @given(sets, sets)
+    @settings(max_examples=80)
+    def test_intersect_matches_python_sets(self, a, b):
+        expected = sorted(set(a.tolist()) & set(b.tolist()))
+        assert vs.intersect(a, b).tolist() == expected
+
+    @given(sets, sets)
+    @settings(max_examples=80)
+    def test_subtract_matches_python_sets(self, a, b):
+        expected = sorted(set(a.tolist()) - set(b.tolist()))
+        assert vs.subtract(a, b).tolist() == expected
+
+    @given(sets, sets)
+    @settings(max_examples=50)
+    def test_intersect_commutative(self, a, b):
+        assert vs.intersect(a, b).tolist() == vs.intersect(b, a).tolist()
+
+    @given(sets, sets)
+    @settings(max_examples=50)
+    def test_size_variants_agree(self, a, b):
+        assert vs.intersect_size(a, b) == len(vs.intersect(a, b))
+        assert vs.subtract_size(a, b) == len(vs.subtract(a, b))
+
+    @given(sets, st.lists(st.integers(0, 200), max_size=5))
+    @settings(max_examples=80)
+    def test_exclude_matches_python_sets(self, a, removals):
+        expected = sorted(set(a.tolist()) - set(removals))
+        assert vs.exclude(a, *removals).tolist() == expected
+
+    @given(sets, st.integers(0, 200))
+    @settings(max_examples=50)
+    def test_trims_partition_without_bound(self, a, bound):
+        below = vs.trim_below(a, bound).tolist()
+        above = vs.trim_above(a, bound).tolist()
+        middle = [bound] if vs.contains(a, bound) else []
+        assert below + middle + above == a.tolist()
+
+    @given(sets)
+    @settings(max_examples=30)
+    def test_results_remain_sorted_unique(self, a):
+        out = vs.intersect(a, a)
+        assert out.tolist() == sorted(set(out.tolist()))
+        assert out.tolist() == a.tolist()
