@@ -80,6 +80,16 @@ def run_experiment():
         f"fork-pool run (2 workers): count={parallel.embedding_count:,}, "
         f"work balance={parallel.work_balance():.2f}"
     )
+    stats = parallel.kernel_stats
+    table.add_note(
+        f"set-op kernels: {parallel.kernel_calls:,} calls "
+        f"(gallop {stats.get('intersect_gallop', 0) + stats.get('subtract_gallop', 0):,}, "
+        f"merge {stats.get('intersect_merge', 0) + stats.get('subtract_merge', 0):,}, "
+        f"bounded {stats.get('bounded', 0):,}); "
+        f"memo cache hit rate {parallel.cache_hit_rate:.1%} "
+        f"({stats.get('cache_hits', 0):,} hits / "
+        f"{stats.get('cache_misses', 0):,} misses)"
+    )
     assert parallel.raw_count == total
     return table, speedups
 

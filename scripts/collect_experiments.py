@@ -92,6 +92,12 @@ EXPERIMENTS = [
     ("test_sec63_profiling_cost",
      "**Reproduced.** Profiling cost is flat in graph size (fixed edge "
      "budget), matching the paper's 1.96-7.10s narrow band."),
+    ("test_bench_setops",
+     "**Engineering (not a paper figure).** The adaptive set-operation "
+     "kernels (galloping probe vs sort-merge, selected by operand size "
+     "ratio) against the repository's original membership-mask "
+     "implementation; the skewed rows are the neighbor-intersection "
+     "regime that dominates enumeration."),
     ("test_ablation_hashtable", None),
     ("test_ablation_elide_and_passes", None),
     ("test_ablation_executor", None),

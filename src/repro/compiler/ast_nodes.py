@@ -55,6 +55,13 @@ SET_OPS = {
     "copy": 1,            # (set)
     "trim_below": 2,      # (set, vertex var)  -> elements < var
     "trim_above": 2,      # (set, vertex var)  -> elements > var
+    # Bounded (trim-fused) forms, produced by the middle-end fuse pass
+    # from an intersect/subtract immediately trimmed by a symmetry
+    # restriction; they map 1:1 onto the repro.runtime.setops kernels.
+    "intersect_upto": 3,  # (set, set, vertex var) -> (a ∩ b) < var
+    "intersect_from": 3,  # (set, set, vertex var) -> (a ∩ b) > var
+    "subtract_upto": 3,   # (set, set, vertex var) -> (a - b) < var
+    "subtract_from": 3,   # (set, set, vertex var) -> (a - b) > var
     "exclude": -1,        # (set, vertex var...)
     "filter_label": 2,    # (set, label const)
     "label_universe": 1,  # (label const)

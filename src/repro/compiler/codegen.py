@@ -40,21 +40,32 @@ from repro.graph import vertex_set as vs
 __all__ = ["generate_source", "compile_root"]
 
 _HELPERS = {
-    "_intersect": vs.intersect,
-    "_subtract": vs.subtract,
     "_exclude": vs.exclude,
     "_trim_below": vs.trim_below,
     "_trim_above": vs.trim_above,
+    "_intersect_upto": vs.intersect_upto,
+    "_intersect_from": vs.intersect_from,
+    "_subtract_upto": vs.subtract_upto,
+    "_subtract_from": vs.subtract_from,
 }
 
 
 def generate_source(root: Root, func_name: str = "_plan") -> str:
-    """Render the AST as Python source for a plan function."""
+    """Render the AST as Python source for a plan function.
+
+    ``_intersect``/``_subtract`` are fetched from the execution context
+    rather than bound statically: the context routes them through its
+    set-op memo cache when that is enabled, and through the same
+    :mod:`repro.runtime.setops` kernels the interpreter uses either way,
+    so the two executors cannot drift.
+    """
     lines: list[str] = [
         f"def {func_name}(graph, ctx, start=None, stop=None):",
         "    _neighbors = graph.neighbors",
         "    _filter_label = graph.filter_label",
         "    _label_universe = graph.vertices_with_label",
+        "    _intersect = ctx.intersect",
+        "    _subtract = ctx.subtract",
         "    _tables = ctx.tables",
         "    _preds = ctx.predicates",
         "    _emit = ctx.emit",
@@ -150,6 +161,9 @@ class _Emitter:
             return f"_trim_below({args[0]}, {args[1]})"
         if op == "trim_above":
             return f"_trim_above({args[0]}, {args[1]})"
+        if op in ("intersect_upto", "intersect_from",
+                  "subtract_upto", "subtract_from"):
+            return f"_{op}({args[0]}, {args[1]}, {args[2]})"
         if op == "exclude":
             rest = ", ".join(str(a) for a in args[1:])
             return f"_exclude({args[0]}, {rest})"

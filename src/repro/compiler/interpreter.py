@@ -113,15 +113,23 @@ class _Interp:
         if op == "neighbors":
             return graph.neighbors(env[args[0]])
         if op == "intersect":
-            return vs.intersect(env[args[0]], env[args[1]])
+            return self.ctx.intersect(env[args[0]], env[args[1]])
         if op == "subtract":
-            return vs.subtract(env[args[0]], env[args[1]])
+            return self.ctx.subtract(env[args[0]], env[args[1]])
         if op == "copy":
             return env[args[0]]
         if op == "trim_below":
             return vs.trim_below(env[args[0]], env[args[1]])
         if op == "trim_above":
             return vs.trim_above(env[args[0]], env[args[1]])
+        if op == "intersect_upto":
+            return vs.intersect_upto(env[args[0]], env[args[1]], env[args[2]])
+        if op == "intersect_from":
+            return vs.intersect_from(env[args[0]], env[args[1]], env[args[2]])
+        if op == "subtract_upto":
+            return vs.subtract_upto(env[args[0]], env[args[1]], env[args[2]])
+        if op == "subtract_from":
+            return vs.subtract_from(env[args[0]], env[args[1]], env[args[2]])
         if op == "exclude":
             values = tuple(env[a] for a in args[1:])
             return vs.exclude(env[args[0]], *values)

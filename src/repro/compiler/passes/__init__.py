@@ -12,6 +12,7 @@ vertex-set-based GPM system relies on).
 from repro.compiler.passes.cse import common_subexpression_elimination
 from repro.compiler.passes.dce import dead_code_elimination
 from repro.compiler.passes.elide import elide_counting_loops
+from repro.compiler.passes.fuse import fuse_bounded_ops
 from repro.compiler.passes.licm import loop_invariant_code_motion
 from repro.compiler.passes.pipeline import PassOptions, optimize
 
@@ -19,6 +20,7 @@ __all__ = [
     "common_subexpression_elimination",
     "dead_code_elimination",
     "elide_counting_loops",
+    "fuse_bounded_ops",
     "loop_invariant_code_motion",
     "optimize",
     "PassOptions",

@@ -1,0 +1,87 @@
+"""Bounded set-op fusion.
+
+The build stage emits symmetry-breaking restrictions as a trim applied to
+the candidate set right after it is computed::
+
+    s3 = intersect(s1, s2)
+    s4 = trim_below(s3, v1)     # realize v4 < v1
+
+When the intermediate set has no other consumer, the pair is fused into
+one bounded kernel call (``s4 = intersect_upto(s1, s2, v1)``), which
+trims the probing operand *before* the intersection runs: the untrimmed
+result is never materialized and the kernel probes only the surviving
+prefix.  This is the compiler-side half of the galloping kernels in
+:mod:`repro.runtime.setops`; the measured win is reported by
+``benchmarks/bench_setops.py``.
+
+Runs after CSE (a shared intermediate then has use count > 1 and is
+correctly left alone) and before DCE.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.compiler.ast_nodes import (
+    Node,
+    Root,
+    SetOp,
+    child_blocks,
+    node_uses,
+    walk,
+)
+
+__all__ = ["fuse_bounded_ops"]
+
+_FUSABLE = {
+    ("intersect", "trim_below"): "intersect_upto",
+    ("intersect", "trim_above"): "intersect_from",
+    ("subtract", "trim_below"): "subtract_upto",
+    ("subtract", "trim_above"): "subtract_from",
+}
+
+
+def fuse_bounded_ops(root: Root) -> int:
+    """Fuse trim-after-intersect/subtract pairs; returns the fusion count."""
+    uses: Counter[str] = Counter()
+    for node in walk(root):
+        for name in node_uses(node):
+            uses[name] += 1
+    fused = 0
+    pending: list[list[Node]] = [root.body]
+    while pending:
+        block = pending.pop()
+        fused += _fuse_block(block, uses)
+        for node in block:
+            pending.extend(child_blocks(node))
+    return fused
+
+
+def _fuse_block(block: list[Node], uses: Counter) -> int:
+    fused = 0
+    kept: list[Node] = []
+    i = 0
+    while i < len(block):
+        node = block[i]
+        successor = block[i + 1] if i + 1 < len(block) else None
+        if (
+            isinstance(node, SetOp)
+            and isinstance(successor, SetOp)
+            and (node.op, successor.op) in _FUSABLE
+            and successor.args[0] == node.target
+            and uses[node.target] == 1  # sole consumer is the trim
+        ):
+            kept.append(
+                SetOp(
+                    successor.target,
+                    _FUSABLE[(node.op, successor.op)],
+                    (node.args[0], node.args[1], successor.args[1]),
+                )
+            )
+            fused += 1
+            i += 2
+            continue
+        kept.append(node)
+        i += 1
+    block[:] = kept
+    return fused

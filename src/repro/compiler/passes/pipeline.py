@@ -2,8 +2,11 @@
 
 Order matters: elision first creates size computations that LICM can then
 hoist; LICM co-locates duplicate expressions so CSE can unify them
-(including across PLR compensation subtrees); DCE sweeps the leftovers.
-Every pass can be toggled — the ablation benchmarks measure each one.
+(including across PLR compensation subtrees); fusion then collapses
+trim-after-intersect/subtract pairs into bounded kernel calls (it must
+run after CSE so shared intermediates are left alone); DCE sweeps the
+leftovers.  Every pass can be toggled — the ablation benchmarks measure
+each one.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from repro.compiler.ast_nodes import Root
 from repro.compiler.passes.cse import common_subexpression_elimination
 from repro.compiler.passes.dce import dead_code_elimination
 from repro.compiler.passes.elide import elide_counting_loops
+from repro.compiler.passes.fuse import fuse_bounded_ops
 from repro.compiler.passes.licm import loop_invariant_code_motion
 
 __all__ = ["PassOptions", "optimize"]
@@ -26,11 +30,12 @@ class PassOptions:
     elide: bool = True
     licm: bool = True
     cse: bool = True
+    fuse: bool = True
     dce: bool = True
 
     @classmethod
     def none(cls) -> "PassOptions":
-        return cls(elide=False, licm=False, cse=False, dce=False)
+        return cls(elide=False, licm=False, cse=False, fuse=False, dce=False)
 
 
 @dataclass
@@ -40,6 +45,7 @@ class PassReport:
     elided_loops: int = 0
     hoisted: int = 0
     unified: int = 0
+    fused: int = 0
     removed: int = 0
 
 
@@ -52,6 +58,8 @@ def optimize(root: Root, options: PassOptions = PassOptions()) -> PassReport:
         report.hoisted = loop_invariant_code_motion(root)
     if options.cse:
         report.unified = common_subexpression_elimination(root)
+    if options.fuse:
+        report.fused = fuse_bounded_ops(root)
     if options.dce:
         report.removed = dead_code_elimination(root)
     return report

@@ -32,7 +32,10 @@ class CSRGraph:
         Human-readable dataset name used in benchmark reports.
     """
 
-    __slots__ = ("indptr", "indices", "labels", "name", "_label_index")
+    __slots__ = (
+        "indptr", "indices", "labels", "name", "_label_index",
+        "_neighbor_views",
+    )
 
     def __init__(
         self,
@@ -48,6 +51,7 @@ class CSRGraph:
         )
         self.name = name
         self._label_index: dict[int, np.ndarray] | None = None
+        self._neighbor_views: list | None = None
         if self.labels is not None and self.labels.shape[0] != self.num_vertices:
             raise ValueError(
                 f"labels array has {self.labels.shape[0]} entries for "
@@ -88,8 +92,24 @@ class CSRGraph:
         return float(self.indices.shape[0] / n) if n else 0.0
 
     def neighbors(self, v: int) -> np.ndarray:
-        """Sorted neighbor set of ``v`` (zero-copy slice; treat read-only)."""
-        return self.indices[self.indptr[v]: self.indptr[v + 1]]
+        """Sorted neighbor set of ``v`` (zero-copy slice; treat read-only).
+
+        The slice object for each vertex is built once and reused, so
+        repeated calls return the *same* array object.  That identity
+        stability is what lets the runtime's set-op memo cache
+        (:class:`repro.runtime.setops.SetOpCache`) key intersections by
+        operand id, and it shaves the two ``indptr`` loads plus slice
+        construction off every inner-loop neighbor access.
+        """
+        views = self._neighbor_views
+        if views is None:
+            self._neighbor_views = views = [None] * self.num_vertices
+        view = views[v]
+        if view is None:
+            view = self.indices[self.indptr[v]: self.indptr[v + 1]]
+            view.setflags(write=False)
+            views[v] = view
+        return view
 
     def vertices(self) -> np.ndarray:
         """The full vertex set ``0..n-1`` as a sorted array."""

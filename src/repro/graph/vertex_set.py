@@ -3,9 +3,16 @@
 Every vertex set handled by the runtime is a strictly increasing
 one-dimensional ``numpy`` array of vertex ids (``int64``).  The operations in
 this module are exactly the vertex-set operation nodes the DecoMine AST
-supports (paper section 7.1): intersection, subtraction, copy assignment,
-bound trimming and neighbor-set loading (the latter lives on
-:class:`repro.graph.csr.CSRGraph`).
+supports (paper section 7.1): intersection, subtraction, their bounded
+(trim-fused) variants, copy assignment, bound trimming and neighbor-set
+loading (the latter lives on :class:`repro.graph.csr.CSRGraph`).
+
+The hot operations — intersect/subtract and their bounded and size-only
+forms — are the adaptive galloping/merge kernels of
+:mod:`repro.runtime.setops`, re-exported here unchanged so that generated
+code, the interpreter and every baseline call the *same* function objects
+(see that module for the dispatch thresholds and counters).  This module
+adds only the thin operations that need no dispatch.
 
 All operations are non-destructive: inputs are never mutated, outputs may
 share memory with inputs (slices) and must be treated as read-only.
@@ -15,7 +22,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.setops import (
+    DTYPE,
+    EMPTY,
+    intersect,
+    intersect_from,
+    intersect_size,
+    intersect_upto,
+    subtract,
+    subtract_from,
+    subtract_size,
+    subtract_upto,
+)
+
 __all__ = [
+    "DTYPE",
     "EMPTY",
     "as_vertex_set",
     "intersect",
@@ -26,14 +47,12 @@ __all__ = [
     "contains",
     "intersect_size",
     "subtract_size",
+    "intersect_upto",
+    "intersect_from",
+    "subtract_upto",
+    "subtract_from",
     "union",
 ]
-
-DTYPE = np.int64
-
-#: The canonical empty vertex set.  Read-only.
-EMPTY = np.empty(0, dtype=DTYPE)
-EMPTY.setflags(write=False)
 
 
 def as_vertex_set(values) -> np.ndarray:
@@ -44,56 +63,6 @@ def as_vertex_set(values) -> np.ndarray:
     """
     arr = np.unique(np.asarray(list(values), dtype=DTYPE))
     return arr
-
-
-def _membership_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Boolean mask over ``a`` marking elements that are also in ``b``.
-
-    Uses binary search into the larger operand, which beats the
-    concatenate-and-sort strategy of ``np.intersect1d`` for the skewed
-    operand sizes typical of neighbor intersections.
-    """
-    if a.size == 0 or b.size == 0:
-        return np.zeros(a.size, dtype=bool)
-    idx = np.searchsorted(b, a)
-    idx[idx == b.size] = b.size - 1
-    return b[idx] == a
-
-
-def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Set intersection of two sorted vertex sets."""
-    if a.size > b.size:
-        a, b = b, a
-    if a.size == 0:
-        return EMPTY
-    return a[_membership_mask(a, b)]
-
-
-def intersect_size(a: np.ndarray, b: np.ndarray) -> int:
-    """``len(intersect(a, b))`` without materializing the result."""
-    if a.size > b.size:
-        a, b = b, a
-    if a.size == 0:
-        return 0
-    return int(np.count_nonzero(_membership_mask(a, b)))
-
-
-def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Set difference ``a - b`` of two sorted vertex sets."""
-    if a.size == 0:
-        return EMPTY
-    if b.size == 0:
-        return a
-    return a[~_membership_mask(a, b)]
-
-
-def subtract_size(a: np.ndarray, b: np.ndarray) -> int:
-    """``len(subtract(a, b))`` without materializing the result."""
-    if a.size == 0:
-        return 0
-    if b.size == 0:
-        return int(a.size)
-    return int(a.size - np.count_nonzero(_membership_mask(a, b)))
 
 
 def exclude(a: np.ndarray, *vertices: int) -> np.ndarray:
@@ -123,7 +92,9 @@ def trim_below(a: np.ndarray, bound: int) -> np.ndarray:
     """Keep only elements strictly smaller than ``bound``.
 
     This is the trimming operation used to realize symmetry-breaking
-    restrictions such as ``v2 < v1``.
+    restrictions such as ``v2 < v1``.  When it directly follows an
+    intersect/subtract the compiler fuses the pair into the bounded
+    kernels (:func:`intersect_upto` and friends) instead.
     """
     return a[: np.searchsorted(a, bound, side="left")]
 

@@ -1,9 +1,15 @@
-"""Runtime: execution engine, contexts, hash tables, partial embeddings."""
+"""Runtime: set-op kernels, execution engine, contexts, hash tables.
 
-from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import ExecutionResult, chunk_ranges, execute_plan
-from repro.runtime.hashtable import NaiveTable, ShrinkageTable
-from repro.runtime.partial_embedding import PartialEmbedding, materialize
+Attributes are resolved lazily (PEP 562): :mod:`repro.runtime.setops` is
+the dependency-free bottom of the package (the graph layer's vertex-set
+algebra imports it), so this ``__init__`` must not eagerly pull in the
+engine/context modules, which sit *above* the graph layer.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import setops
+from repro.runtime.setops import BufferPool, KernelStats, SetOpCache
 
 __all__ = [
     "ExecutionContext",
@@ -14,4 +20,34 @@ __all__ = [
     "ShrinkageTable",
     "PartialEmbedding",
     "materialize",
+    "setops",
+    "BufferPool",
+    "KernelStats",
+    "SetOpCache",
 ]
+
+_LAZY = {
+    "ExecutionContext": "repro.runtime.context",
+    "ExecutionResult": "repro.runtime.engine",
+    "chunk_ranges": "repro.runtime.engine",
+    "execute_plan": "repro.runtime.engine",
+    "NaiveTable": "repro.runtime.hashtable",
+    "ShrinkageTable": "repro.runtime.hashtable",
+    "PartialEmbedding": "repro.runtime.partial_embedding",
+    "materialize": "repro.runtime.partial_embedding",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

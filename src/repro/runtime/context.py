@@ -2,8 +2,17 @@
 
 Bundles everything a plan needs beyond the graph itself: the shrinkage
 hash tables, the user predicates for label constraints, the UDF sink for
-partial embeddings, and the accumulator storage merged across parallel
-chunks (paper section 7.4's privatization).
+partial embeddings, the accumulator storage merged across parallel
+chunks (paper section 7.4's privatization), and the per-chunk set-op
+memo cache.
+
+The context is also the kernel routing point: generated code and the
+interpreter both fetch their ``intersect``/``subtract`` entry points from
+the context (``ctx.intersect`` / ``ctx.subtract``), which are either the
+raw adaptive kernels of :mod:`repro.runtime.setops` or, when the memo
+cache is enabled (the default), the cache's memoizing wrappers.  Routing
+through one place is what keeps the two executors bit-identical and lets
+the cache be toggled without recompiling plans.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Callable, Sequence
 
 from repro.graph import vertex_set as vs
 from repro.runtime.hashtable import NaiveTable, ShrinkageTable
+from repro.runtime.setops import DEFAULT_CACHE_CAPACITY, SetOpCache
 
 __all__ = ["ExecutionContext"]
 
@@ -35,6 +45,11 @@ class ExecutionContext:
     naive_tables:
         Use the physically-clearing table (the ablation baseline of the
         section-5 O(1)-clear trick).
+    cache:
+        Per-chunk set-op memo cache policy: ``True`` (default) builds a
+        :class:`~repro.runtime.setops.SetOpCache` with the default entry
+        cap, an ``int`` caps it explicitly, ``False``/``None`` disables
+        memoization, and a ready-made :class:`SetOpCache` is used as-is.
     """
 
     def __init__(
@@ -43,6 +58,7 @@ class ExecutionContext:
         predicates: Sequence[Callable] = (),
         emit: EmitFn | None = None,
         naive_tables: bool = False,
+        cache: SetOpCache | bool | int | None = True,
     ) -> None:
         table_cls = NaiveTable if naive_tables else ShrinkageTable
         self.tables = [table_cls() for _ in range(num_tables)]
@@ -51,6 +67,20 @@ class ExecutionContext:
         self.accumulators: dict[str, int] = {}
         # Set-operation namespace used by generated code.
         self.vs = vs
+        if cache is True:
+            cache = SetOpCache(DEFAULT_CACHE_CAPACITY)
+        elif cache is False:
+            cache = None
+        elif isinstance(cache, int):
+            cache = SetOpCache(cache)
+        self.cache: SetOpCache | None = cache
+        # Kernel entry points for both executors (cache-routed when on).
+        if cache is not None:
+            self.intersect = cache.intersect
+            self.subtract = cache.subtract
+        else:
+            self.intersect = vs.intersect
+            self.subtract = vs.subtract
 
     def merge_accumulators(self, partial: dict[str, int]) -> None:
         """Fold one chunk's privatized accumulators into the global ones.
@@ -60,6 +90,12 @@ class ExecutionContext:
         """
         for name, value in partial.items():
             self.accumulators[name] = self.accumulators.get(name, 0) + value
+
+    def cache_counters(self) -> dict[str, int]:
+        """Memo-cache counters (zeros when the cache is disabled)."""
+        if self.cache is None:
+            return dict.fromkeys(SetOpCache.COUNTER_FIELDS, 0)
+        return self.cache.counters()
 
 
 def _ignore_emit(index: int, vertices: tuple[int, ...], count: int) -> None:

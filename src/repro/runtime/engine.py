@@ -7,6 +7,12 @@ analogue of the paper's scheme — a shared queue of statically-cut chunks);
 each chunk accumulates into privatized counters merged at the end, which
 is correct because all accumulator updates are associative/commutative.
 
+Each chunk runs with its own :class:`ExecutionContext`, hence its own
+set-op memo cache; kernel dispatch counts (from
+:data:`repro.runtime.setops.STATS`) and the cache counters are collected
+per chunk and merged into ``ExecutionResult.kernel_stats``, which is how
+the benchmark reports surface kernel behaviour.
+
 On a single-core host multiprocessing adds no wall-clock speedup; the
 scalability benchmark therefore also reports the measured per-chunk work
 balance, from which the multi-core speedup curve follows.
@@ -21,7 +27,9 @@ from dataclasses import dataclass, field
 from repro.compiler.build import COUNT_ACC
 from repro.compiler.interpreter import run_interpreter
 from repro.compiler.pipeline import CompiledPlan
+from repro.exceptions import ReproError
 from repro.graph.csr import CSRGraph
+from repro.runtime import setops
 from repro.runtime.context import ExecutionContext
 
 __all__ = ["ExecutionResult", "execute_plan", "chunk_ranges"]
@@ -35,6 +43,7 @@ class ExecutionResult:
     seconds: float
     divisor: int
     chunk_seconds: list[float] = field(default_factory=list)
+    kernel_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def raw_count(self) -> int:
@@ -43,9 +52,11 @@ class ExecutionResult:
     @property
     def embedding_count(self) -> int:
         raw = self.raw_count
-        assert raw % self.divisor == 0, (
-            f"raw count {raw} not divisible by multiplicity {self.divisor}"
-        )
+        if raw % self.divisor != 0:
+            raise ReproError(
+                f"raw count {raw} not divisible by multiplicity "
+                f"{self.divisor}: the plan's symmetry accounting is broken"
+            )
         return raw // self.divisor
 
     def work_balance(self) -> float:
@@ -57,6 +68,20 @@ class ExecutionResult:
             return 1.0
         return (sum(self.chunk_seconds) / len(self.chunk_seconds)) / peak
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Set-op memo cache hit rate over this execution (0.0 if off)."""
+        hits = self.kernel_stats.get("cache_hits", 0)
+        lookups = hits + self.kernel_stats.get("cache_misses", 0)
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def kernel_calls(self) -> int:
+        """Total set-op kernel invocations during this execution."""
+        return sum(
+            self.kernel_stats.get(name, 0) for name in setops.KernelStats.FIELDS
+        )
+
 
 def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
     """Split ``range(total)`` into ``chunks`` contiguous ranges."""
@@ -67,6 +92,11 @@ def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
         for i in range(chunks)
         if bounds[i] < bounds[i + 1]
     ]
+
+
+def _merge_stats(into: dict[str, int], part: dict[str, int]) -> None:
+    for key, value in part.items():
+        into[key] = into.get(key, 0) + value
 
 
 def execute_plan(
@@ -94,14 +124,20 @@ def execute_plan(
         )
 
     started = time.perf_counter()
+    kernel_before = setops.STATS.snapshot()
+    cache_before = ctx.cache_counters()
     if workers <= 1:
         accumulators = _run_range(plan, graph, ctx, None, None, executor)
         chunk_seconds = [time.perf_counter() - started]
+        stats = setops.STATS.delta(kernel_before)
     else:
         ranges = chunk_ranges(graph.num_vertices, workers * chunks_per_worker)
-        accumulators, chunk_seconds = _run_parallel(
+        accumulators, chunk_seconds, stats = _run_parallel(
             plan, graph, ctx, ranges, workers, executor
         )
+        _merge_stats(stats, setops.STATS.delta(kernel_before))
+    for key, value in ctx.cache_counters().items():
+        stats[key] = stats.get(key, 0) + value - cache_before.get(key, 0)
     # Globally-counted shrinkage corrections (see CompiledPlan.aux_plans):
     # each quotient pattern's injective count is subtracted once, instead
     # of re-enumerating quotient extensions per cutting-set match.
@@ -114,9 +150,10 @@ def execute_plan(
             accumulators.get(COUNT_ACC, 0)
             - multiplier * aux_result.raw_count
         )
+        _merge_stats(stats, aux_result.kernel_stats)
     elapsed = time.perf_counter() - started
     return ExecutionResult(
-        accumulators, elapsed, plan.info.divisor, chunk_seconds
+        accumulators, elapsed, plan.info.divisor, chunk_seconds, stats
     )
 
 
@@ -142,23 +179,30 @@ def _chunk_worker(bounds: tuple[int, int]):
     ctx = ExecutionContext(plan.root.num_tables,
                            predicates=_FORK_STATE["predicates"])
     chunk_started = time.perf_counter()
+    kernel_before = setops.STATS.snapshot()
     accumulators = _run_range(plan, graph, ctx, bounds[0], bounds[1], executor)
-    return accumulators, time.perf_counter() - chunk_started
+    stats = setops.STATS.delta(kernel_before)
+    _merge_stats(stats, ctx.cache_counters())
+    return accumulators, time.perf_counter() - chunk_started, stats
 
 
 def _run_parallel(plan, graph, ctx, ranges, workers, executor):
     import multiprocessing as mp
 
+    stats: dict[str, int] = {}
     if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX fallback
         merged: dict[str, int] = {}
         seconds = []
         for start, stop in ranges:
             chunk_started = time.perf_counter()
-            partial = _run_range(plan, graph, ctx, start, stop, executor)
+            chunk_ctx = ExecutionContext(plan.root.num_tables,
+                                         predicates=list(ctx.predicates))
+            partial = _run_range(plan, graph, chunk_ctx, start, stop, executor)
             seconds.append(time.perf_counter() - chunk_started)
+            _merge_stats(stats, chunk_ctx.cache_counters())
             for key, value in partial.items():
                 merged[key] = merged.get(key, 0) + value
-        return merged, seconds
+        return merged, seconds, stats
 
     _FORK_STATE.update(
         plan=plan, graph=graph, executor=executor,
@@ -172,12 +216,13 @@ def _run_parallel(plan, graph, ctx, ranges, workers, executor):
             # imap_unordered drains the shared chunk queue dynamically:
             # an idle worker immediately picks up unstarted chunks, the
             # work-stealing behaviour of the paper's runtime.
-            for partial, chunk_time in pool.imap_unordered(
+            for partial, chunk_time, chunk_stats in pool.imap_unordered(
                 _chunk_worker, ranges
             ):
                 seconds.append(chunk_time)
+                _merge_stats(stats, chunk_stats)
                 for key, value in partial.items():
                     merged[key] = merged.get(key, 0) + value
-        return merged, seconds
+        return merged, seconds, stats
     finally:
         _FORK_STATE.clear()

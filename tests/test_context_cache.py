@@ -1,0 +1,208 @@
+"""Tests for the per-chunk set-op memo cache and its context wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_spec
+from repro.compiler.specs import DirectSpec
+from repro.patterns import catalog
+from repro.patterns.matching_order import connected_orders
+from repro.runtime.context import ExecutionContext
+from repro.runtime.engine import execute_plan
+from repro.runtime.setops import DEFAULT_CACHE_CAPACITY, DTYPE, SetOpCache
+
+
+def arr(values) -> np.ndarray:
+    return np.asarray(sorted(set(values)), dtype=DTYPE)
+
+
+def direct_plan(pattern):
+    return compile_spec(DirectSpec(pattern, connected_orders(pattern)[0]))
+
+
+class TestSetOpCacheAccounting:
+    def test_miss_then_hit(self):
+        cache = SetOpCache()
+        a, b = arr(range(10)), arr(range(5, 15))
+        first = cache.intersect(a, b)
+        second = cache.intersect(a, b)
+        assert second is first  # memoized object, not a recompute
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_intersect_is_commutative_in_the_key(self):
+        cache = SetOpCache()
+        a, b = arr(range(10)), arr(range(5, 15))
+        cache.intersect(a, b)
+        assert cache.intersect(b, a) is cache.intersect(a, b)
+        assert cache.hits == 2
+
+    def test_subtract_is_direction_sensitive(self):
+        cache = SetOpCache()
+        a, b = arr(range(10)), arr(range(5, 15))
+        ab = cache.subtract(a, b)
+        ba = cache.subtract(b, a)
+        assert cache.misses == 2  # two distinct keys
+        assert ab.tolist() == [0, 1, 2, 3, 4]
+        assert ba.tolist() == [10, 11, 12, 13, 14]
+
+    def test_distinct_equal_valued_arrays_are_distinct_keys(self):
+        """Keys are identity, not content: equal copies do not alias."""
+        cache = SetOpCache()
+        a, b = arr(range(10)), arr(range(5, 15))
+        cache.intersect(a, b)
+        cache.intersect(a.copy(), b)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_counters_mapping_and_clear(self):
+        cache = SetOpCache()
+        a, b = arr(range(6)), arr(range(3, 9))
+        cache.intersect(a, b)
+        cache.intersect(a, b)
+        assert cache.counters() == {
+            "cache_hits": 1, "cache_misses": 1, "cache_evictions": 0,
+        }
+        cache.clear()
+        assert len(cache) == 0
+        # clear() drops entries but keeps counters; next lookup misses.
+        cache.intersect(a, b)
+        assert cache.counters()["cache_misses"] == 2
+        assert cache.counters()["cache_hits"] == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SetOpCache(0)
+
+
+class TestEviction:
+    def test_fifo_eviction_caps_entries(self):
+        cache = SetOpCache(capacity=4)
+        operands = [(arr([i, i + 1]), arr([i + 1, i + 2])) for i in range(10)]
+        for a, b in operands:
+            cache.intersect(a, b)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+
+    def test_correct_after_eviction(self):
+        """An evicted pair recomputes and still returns the right answer."""
+        cache = SetOpCache(capacity=2)
+        pairs = [(arr(range(i, i + 8)), arr(range(i + 4, i + 12)))
+                 for i in range(6)]
+        for _ in range(2):  # second round: everything early was evicted
+            for a, b in pairs:
+                result = cache.intersect(a, b)
+                expected = sorted(set(a.tolist()) & set(b.tolist()))
+                assert result.tolist() == expected
+
+    def test_rewriting_same_key_does_not_evict(self):
+        cache = SetOpCache(capacity=2)
+        a, b = arr(range(8)), arr(range(4, 12))
+        for _ in range(5):
+            cache.intersect(a, b)
+        assert cache.evictions == 0
+        assert (cache.hits, cache.misses) == (4, 1)
+
+
+class TestIdentitySafety:
+    def test_stale_id_reuse_is_detected(self):
+        """A dead operand's recycled id must not produce a false hit.
+
+        Entries pin their operands, so genuinely recycled ids cannot
+        collide with live entries; here we simulate the nearest possible
+        hazard — a fresh array that happens to share a stored id is
+        rejected by the ``is`` verification.
+        """
+        cache = SetOpCache()
+        a, b = arr(range(10)), arr(range(5, 15))
+        cache.intersect(a, b)
+        key = next(iter(cache._entries))
+        impostor_a = arr(range(100, 110))
+        impostor_b = arr(range(105, 115))
+        # Forge the stored entry's operands without updating the key.
+        cache._entries[key] = (
+            impostor_a, impostor_b, cache._entries[key][2]
+        )
+        result = cache.intersect(a, b)  # same ids as the key
+        assert result.tolist() == list(range(5, 10))  # recomputed, not stale
+        assert cache.misses == 2
+
+
+class TestContextWiring:
+    def test_default_context_has_capped_cache(self):
+        ctx = ExecutionContext()
+        assert isinstance(ctx.cache, SetOpCache)
+        assert ctx.cache.capacity == DEFAULT_CACHE_CAPACITY
+        assert ctx.intersect == ctx.cache.intersect
+
+    def test_cache_false_routes_raw_kernels(self):
+        ctx = ExecutionContext(cache=False)
+        assert ctx.cache is None
+        assert ctx.intersect is ctx.vs.intersect
+        assert ctx.cache_counters() == {
+            "cache_hits": 0, "cache_misses": 0, "cache_evictions": 0,
+        }
+
+    def test_cache_int_caps_capacity(self):
+        ctx = ExecutionContext(cache=17)
+        assert ctx.cache.capacity == 17
+
+    def test_cache_instance_used_as_is(self):
+        cache = SetOpCache(capacity=5)
+        ctx = ExecutionContext(cache=cache)
+        assert ctx.cache is cache
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.graph.generators import erdos_renyi
+
+        return erdos_renyi(20, 0.3, seed=0)
+
+    @pytest.mark.parametrize("pattern_name", ["house", "cycle4", "diamond"])
+    def test_cached_equals_uncached_accumulators(self, graph, pattern_name):
+        pattern = {
+            "house": catalog.house(),
+            "cycle4": catalog.cycle(4),
+            "diamond": catalog.diamond(),
+        }[pattern_name]
+        plan = direct_plan(pattern)
+        cached = execute_plan(
+            plan, graph, ctx=ExecutionContext(plan.root.num_tables))
+        uncached = execute_plan(
+            plan, graph, ctx=ExecutionContext(plan.root.num_tables,
+                                              cache=False))
+        assert cached.accumulators == uncached.accumulators
+        assert cached.embedding_count == uncached.embedding_count
+
+    def test_cached_equals_uncached_under_tiny_capacity(self, graph):
+        """Constant eviction pressure must not change results."""
+        plan = direct_plan(catalog.house())
+        tiny = execute_plan(
+            plan, graph, ctx=ExecutionContext(plan.root.num_tables, cache=2))
+        full = execute_plan(
+            plan, graph, ctx=ExecutionContext(plan.root.num_tables))
+        assert tiny.accumulators == full.accumulators
+        assert tiny.kernel_stats["cache_evictions"] > 0
+
+    def test_execution_surfaces_cache_counters(self, graph):
+        plan = direct_plan(catalog.house())
+        result = execute_plan(plan, graph)
+        stats = result.kernel_stats
+        assert stats["cache_misses"] > 0
+        # House plans re-intersect identity-stable neighbor slices, so
+        # the memo cache must actually hit.
+        assert stats["cache_hits"] > 0
+        assert 0.0 < result.cache_hit_rate < 1.0
+        assert result.kernel_calls > 0
+
+    def test_parallel_execution_merges_chunk_counters(self, graph):
+        plan = direct_plan(catalog.house())
+        serial = execute_plan(plan, graph)
+        parallel = execute_plan(plan, graph, workers=2)
+        assert parallel.embedding_count == serial.embedding_count
+        lookups = (parallel.kernel_stats["cache_hits"]
+                   + parallel.kernel_stats["cache_misses"])
+        assert lookups > 0

@@ -63,10 +63,30 @@ class TestExecutionResult:
         result = ExecutionResult({COUNT_ACC: 12}, 0.1, divisor=6)
         assert result.embedding_count == 2
 
-    def test_indivisible_raw_count_asserts(self):
+    def test_indivisible_raw_count_raises_repro_error(self):
+        # A ReproError (not an assert) so the check survives `python -O`.
         result = ExecutionResult({COUNT_ACC: 13}, 0.1, divisor=6)
-        with pytest.raises(AssertionError):
+        with pytest.raises(ReproError, match="not divisible"):
             _ = result.embedding_count
+
+    def test_indivisible_check_survives_optimized_mode(self, tmp_path):
+        """The divisibility guard must fire even under ``python -O``."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.runtime.engine import ExecutionResult\n"
+            "from repro.exceptions import ReproError\n"
+            "try:\n"
+            "    ExecutionResult({'acc_count': 13}, 0.1, 6).embedding_count\n"
+            "except ReproError:\n"
+            "    print('GUARDED')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-O", "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        assert "GUARDED" in proc.stdout
 
     def test_work_balance_bounds(self):
         balanced = ExecutionResult({}, 1.0, 1, chunk_seconds=[0.5, 0.5])
