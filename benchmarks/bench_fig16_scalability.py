@@ -91,11 +91,35 @@ def run_experiment():
         f"{stats.get('cache_misses', 0):,} misses)"
     )
     assert parallel.raw_count == total
-    return table, speedups
+
+    # Supervisor overhead: the fault-tolerant chunk supervisor (retry/
+    # backoff bookkeeping, health polling, dedup) versus the raw
+    # imap_unordered pool on the same fault-free 4-worker run.  Best of
+    # five isolates scheduler noise on the single-core container.
+    def best_of(supervised, rounds=5):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = execute_plan(plan, graph, workers=4,
+                                  supervised=supervised)
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    raw_s, raw = best_of(False)
+    sup_s, sup = best_of(True)
+    assert sup.raw_count == raw.raw_count == total
+    overhead_pct = (sup_s - raw_s) / raw_s * 100.0
+    table.add_note(
+        f"supervisor overhead (fault-free, 4 workers, best of 5): "
+        f"supervised {sup_s * 1000:.1f}ms vs raw pool "
+        f"{raw_s * 1000:.1f}ms -> {overhead_pct:+.1f}% "
+        f"({sup.retries} retries, {sup.pool_restarts} pool restarts)"
+    )
+    return table, speedups, overhead_pct, (sup_s - raw_s) * 1000.0
 
 
 def test_fig16_scalability(report, run_once):
-    table, speedups = run_once(run_experiment)
+    table, speedups, overhead_pct, overhead_ms = run_once(run_experiment)
     report(table)
     # Shape: near-linear scaling out to 16 workers, as in the paper.
     assert speedups[16] > 8.0
@@ -104,3 +128,7 @@ def test_fig16_scalability(report, run_once):
         speedups[a] <= speedups[b] + 1e-9
         for a, b in ((1, 2), (2, 4), (4, 8), (8, 16))
     )
+    # Fault tolerance must be ~free when nothing fails: under 5% on
+    # this run (with a 10ms absolute floor against timer jitter on the
+    # ~50ms single-core workload).
+    assert overhead_pct < 5.0 or overhead_ms < 10.0

@@ -34,6 +34,7 @@ from repro.patterns.pattern import Pattern
 from repro.runtime.context import ExecutionContext
 from repro.runtime.engine import ExecutionResult, execute_plan
 from repro.runtime.partial_embedding import PartialEmbedding, materialize
+from repro.runtime.supervisor import RunBudget, RunPolicy
 
 __all__ = ["DecoMine"]
 
@@ -57,6 +58,14 @@ class DecoMine:
     profile:
         Pre-computed :class:`~repro.costmodel.CostProfile`; profiled on
         first use otherwise ("amortized with multiple applications", §8.2).
+    run_policy:
+        A :class:`~repro.runtime.supervisor.RunPolicy` (or bare
+        :class:`~repro.runtime.supervisor.RunBudget`) applied to every
+        counting execution: retry/backoff caps, deadlines, and an
+        optional checkpoint for killed-run resume.  ``last_result``
+        keeps the most recent :class:`ExecutionResult`, whose
+        ``failures``/``retries``/``resumed_chunks`` fields surface what
+        the supervisor had to do.
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class DecoMine:
         profile: CostProfile | None = None,
         executor: str = "codegen",
         profile_seed: int = 0,
+        run_policy: RunPolicy | RunBudget | None = None,
     ) -> None:
         self.graph = graph
         self.model = (
@@ -76,6 +86,10 @@ class DecoMine:
         self.workers = workers
         self.options = search_options or SearchOptions()
         self.executor = executor
+        if isinstance(run_policy, RunBudget):
+            run_policy = RunPolicy(budget=run_policy)
+        self.run_policy = run_policy
+        self.last_result: ExecutionResult | None = None
         self._profile = profile
         self._profile_seed = profile_seed
         self._plan_cache: dict = {}
@@ -176,9 +190,21 @@ class DecoMine:
         self, plan: CompiledPlan, ctx: ExecutionContext | None = None
     ) -> ExecutionResult:
         workers = self.workers if plan.mode == "count" else 1
-        return execute_plan(
-            plan, self.graph, ctx=ctx, workers=workers, executor=self.executor
+        kwargs: dict = {}
+        # Supervision re-runs chunks, which is only sound for counting
+        # accumulators — emit-mode UDF deliveries are not idempotent.
+        if self.run_policy is not None and plan.mode == "count":
+            kwargs = dict(
+                policy=self.run_policy.budget,
+                checkpoint=self.run_policy.checkpoint,
+                supervised=self.run_policy.supervised,
+            )
+        result = execute_plan(
+            plan, self.graph, ctx=ctx, workers=workers,
+            executor=self.executor, **kwargs,
         )
+        self.last_result = result
+        return result
 
     # ------------------------------------------------------------------
     # mine / process_partial_embedding

@@ -21,7 +21,7 @@ import sys
 import time
 
 from repro.api.session import DecoMine
-from repro.exceptions import PatternError
+from repro.exceptions import ExecutionError, PatternError
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
 
@@ -97,6 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     count.add_argument("--pattern", required=True)
     count.add_argument("--induced", action="store_true",
                        help="vertex-induced semantics")
+    count.add_argument("--workers", type=int, default=1,
+                       help="parallel fork-pool workers (default 1)")
+    count.add_argument("--deadline", type=float, metavar="SECONDS",
+                       help="whole-run deadline; unfinished chunks are "
+                            "reported as failures instead of running over")
+    count.add_argument("--resume", metavar="FILE",
+                       help="JSON-lines checkpoint file: completed chunks "
+                            "are recorded there and a rerun with the same "
+                            "file (and same --workers) skips them")
 
     census = sub.add_parser("census", help="k-motif census")
     _add_graph_args(census)
@@ -126,17 +135,50 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     graph = _load_graph(args)
-    session = DecoMine(graph, cost_model=args.cost_model)
+    run_policy = None
+    if getattr(args, "deadline", None) is not None or getattr(
+        args, "resume", None
+    ):
+        from repro.runtime.supervisor import RunBudget, RunPolicy
+
+        run_policy = RunPolicy(
+            budget=RunBudget(deadline_s=args.deadline),
+            checkpoint=args.resume,
+            supervised=True,
+        )
+    session = DecoMine(
+        graph,
+        cost_model=args.cost_model,
+        workers=getattr(args, "workers", 1),
+        run_policy=run_policy,
+    )
     print(f"graph: {graph}", file=sys.stderr)
 
     if args.command == "count":
         pattern = parse_pattern(args.pattern)
         started = time.perf_counter()
-        value = session.get_pattern_count(pattern, induced=args.induced)
+        try:
+            value = session.get_pattern_count(pattern, induced=args.induced)
+        except ExecutionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            result = session.last_result
+            if result is not None:
+                for failure in result.failures:
+                    print(f"  {failure.describe()}", file=sys.stderr)
+                if args.resume:
+                    print(f"completed chunks are checkpointed in "
+                          f"{args.resume}; rerun with --resume to continue",
+                          file=sys.stderr)
+            return 2
         elapsed = time.perf_counter() - started
         kind = "vertex-induced" if args.induced else "edge-induced"
         print(f"{pattern.name}: {value} {kind} embeddings "
               f"({elapsed:.2f}s)")
+        result = session.last_result
+        if run_policy is not None and result is not None:
+            print(f"supervisor: {result.retries} retries, "
+                  f"{result.resumed_chunks} chunks resumed from checkpoint, "
+                  f"{result.pool_restarts} pool restarts", file=sys.stderr)
         return 0
 
     if args.command == "census":

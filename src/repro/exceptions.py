@@ -9,11 +9,22 @@ __all__ = [
     "CompilationError",
     "ConstraintError",
     "BudgetExceededError",
+    "ExecutionError",
 ]
 
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
+
+
+class ExecutionError(ReproError):
+    """Raised for engine misuse or an execution that could not complete.
+
+    Covers invalid ``execute_plan`` arguments (``workers < 1``, unknown
+    executor, emit-mode parallelism) and reading ``embedding_count`` off
+    an :class:`~repro.runtime.engine.ExecutionResult` whose supervisor
+    recorded unrecovered chunk failures.
+    """
 
 
 class PatternError(ReproError):

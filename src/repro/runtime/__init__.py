@@ -24,6 +24,14 @@ __all__ = [
     "BufferPool",
     "KernelStats",
     "SetOpCache",
+    "RunBudget",
+    "RunPolicy",
+    "CheckpointStore",
+    "ChunkFailure",
+    "Supervisor",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
 ]
 
 _LAZY = {
@@ -35,6 +43,14 @@ _LAZY = {
     "ShrinkageTable": "repro.runtime.hashtable",
     "PartialEmbedding": "repro.runtime.partial_embedding",
     "materialize": "repro.runtime.partial_embedding",
+    "RunBudget": "repro.runtime.supervisor",
+    "RunPolicy": "repro.runtime.supervisor",
+    "CheckpointStore": "repro.runtime.supervisor",
+    "ChunkFailure": "repro.runtime.supervisor",
+    "Supervisor": "repro.runtime.supervisor",
+    "Fault": "repro.runtime.faults",
+    "FaultPlan": "repro.runtime.faults",
+    "InjectedFault": "repro.runtime.faults",
 }
 
 

@@ -50,6 +50,12 @@ class ExecutionContext:
         :class:`~repro.runtime.setops.SetOpCache` with the default entry
         cap, an ``int`` caps it explicitly, ``False``/``None`` disables
         memoization, and a ready-made :class:`SetOpCache` is used as-is.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; chunked
+        executions call :meth:`fire_faults` at the start of every chunk
+        attempt, which is how the deterministic fault-injection harness
+        reaches worker processes (the context is the one object every
+        chunk rebuilds from fork state).
     """
 
     def __init__(
@@ -59,11 +65,13 @@ class ExecutionContext:
         emit: EmitFn | None = None,
         naive_tables: bool = False,
         cache: SetOpCache | bool | int | None = True,
+        faults=None,
     ) -> None:
         table_cls = NaiveTable if naive_tables else ShrinkageTable
         self.tables = [table_cls() for _ in range(num_tables)]
         self.predicates = list(predicates)
         self.emit = emit if emit is not None else _ignore_emit
+        self.faults = faults
         self.accumulators: dict[str, int] = {}
         # Set-operation namespace used by generated code.
         self.vs = vs
@@ -90,6 +98,14 @@ class ExecutionContext:
         """
         for name, value in partial.items():
             self.accumulators[name] = self.accumulators.get(name, 0) + value
+
+    def fire_faults(self, chunk_index: int, attempt: int,
+                    allow_exit: bool = True) -> None:
+        """Inject any scheduled faults for one chunk attempt (no-op
+        without a fault plan).  ``allow_exit`` must be False outside a
+        disposable worker process."""
+        if self.faults is not None:
+            self.faults.fire(chunk_index, attempt, allow_exit=allow_exit)
 
     def cache_counters(self) -> dict[str, int]:
         """Memo-cache counters (zeros when the cache is disabled)."""

@@ -13,6 +13,13 @@ set-op memo cache; kernel dispatch counts (from
 per chunk and merged into ``ExecutionResult.kernel_stats``, which is how
 the benchmark reports surface kernel behaviour.
 
+Parallel runs are *supervised* by default: chunk dispatch goes through
+:class:`repro.runtime.supervisor.Supervisor`, which retries chunks lost
+to worker crashes or exceptions, honors ``RunBudget`` deadlines, and
+(opt-in) checkpoints completed chunks for resume.  ``supervised=False``
+selects the raw ``imap_unordered`` fast path with no recovery — the
+baseline the supervisor's overhead is benchmarked against.
+
 On a single-core host multiprocessing adds no wall-clock speedup; the
 scalability benchmark therefore also reports the measured per-chunk work
 balance, from which the multi-core speedup curve follows.
@@ -20,14 +27,15 @@ balance, from which the multi-core speedup curve follows.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compiler.build import COUNT_ACC
 from repro.compiler.interpreter import run_interpreter
 from repro.compiler.pipeline import CompiledPlan
-from repro.exceptions import ReproError
+from repro.exceptions import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.runtime import setops
 from repro.runtime.context import ExecutionContext
@@ -37,13 +45,30 @@ __all__ = ["ExecutionResult", "execute_plan", "chunk_ranges"]
 
 @dataclass
 class ExecutionResult:
-    """Outcome of a plan execution."""
+    """Outcome of a plan execution.
+
+    ``failures``/``retries``/``resumed_chunks``/``pool_restarts`` are the
+    supervisor's record: structured :class:`ChunkFailure` entries for
+    chunks that exhausted recovery, how many chunk re-dispatches
+    happened, how many chunks were restored from a checkpoint instead of
+    executed, and how many times the worker pool had to be rebuilt.  All
+    zero/empty on unsupervised runs.
+    """
 
     accumulators: dict[str, int]
     seconds: float
     divisor: int
     chunk_seconds: list[float] = field(default_factory=list)
     kernel_stats: dict[str, int] = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    resumed_chunks: int = 0
+    pool_restarts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every chunk completed (counts are trustworthy)."""
+        return not self.failures
 
     @property
     def raw_count(self) -> int:
@@ -51,6 +76,16 @@ class ExecutionResult:
 
     @property
     def embedding_count(self) -> int:
+        if self.failures:
+            summary = "; ".join(f.describe() for f in self.failures[:3])
+            more = len(self.failures) - 3
+            if more > 0:
+                summary += f"; +{more} more"
+            raise ExecutionError(
+                f"execution incomplete — {len(self.failures)} chunk(s) "
+                f"unrecovered, the partial count is not meaningful "
+                f"({summary})"
+            )
         raw = self.raw_count
         if raw % self.divisor != 0:
             raise ReproError(
@@ -106,6 +141,9 @@ def execute_plan(
     workers: int = 1,
     chunks_per_worker: int = 4,
     executor: str = "codegen",
+    policy=None,
+    checkpoint=None,
+    supervised: bool | None = None,
 ) -> ExecutionResult:
     """Execute a compiled plan.
 
@@ -113,20 +151,77 @@ def execute_plan(
     With ``workers > 1`` the outer loop is chunked across a fork-based
     process pool; emit-mode plans (UDF callbacks hold user state) run
     single-process.
+
+    ``policy`` (a :class:`~repro.runtime.supervisor.RunBudget`) sets
+    retry caps, backoff, per-chunk timeouts, and the whole-run deadline;
+    ``checkpoint`` (a :class:`~repro.runtime.supervisor.CheckpointStore`
+    or path) makes completed chunks durable so a killed run resumes by
+    skipping them.  ``supervised`` defaults to supervision whenever it
+    can matter — parallel runs, or any run with a policy, checkpoint, or
+    fault plan on the context; ``supervised=False`` forces the raw
+    unrecoverable fast path.
     """
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    if chunks_per_worker < 1:
+        raise ExecutionError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+        )
+    if executor not in ("codegen", "interpreter"):
+        raise ExecutionError(f"unknown executor {executor!r}")
     if ctx is None:
         ctx = ExecutionContext(plan.root.num_tables)
     if workers > 1 and plan.mode == "emit":
-        raise ValueError(
+        raise ExecutionError(
             "emit-mode plans run single-process: user UDF state cannot be "
             "merged across workers; aggregate via counting accumulators "
             "instead"
         )
+    if plan.mode == "emit" and (policy is not None or checkpoint is not None):
+        raise ExecutionError(
+            "supervised execution re-runs chunks and would re-deliver "
+            "partial embeddings to the UDF; emit-mode plans run "
+            "unsupervised"
+        )
+    if supervised is None:
+        supervised = (
+            workers > 1
+            or policy is not None
+            or checkpoint is not None
+            or ctx.faults is not None
+        ) and plan.mode != "emit"
+
+    if checkpoint is not None and not hasattr(checkpoint, "record"):
+        from repro.runtime.supervisor import CheckpointStore
+
+        checkpoint = CheckpointStore(checkpoint)
+
+    deadline_at = None
+    if policy is not None and policy.deadline_s is not None:
+        deadline_at = time.monotonic() + policy.deadline_s
 
     started = time.perf_counter()
     kernel_before = setops.STATS.snapshot()
     cache_before = ctx.cache_counters()
-    if workers <= 1:
+    retries = resumed_chunks = pool_restarts = 0
+    failures: list = []
+    if supervised:
+        from repro.runtime.supervisor import Supervisor
+
+        ranges = chunk_ranges(graph.num_vertices, workers * chunks_per_worker)
+        outcome = Supervisor(
+            plan, graph, ctx, ranges, workers, executor,
+            budget=policy, checkpoint=checkpoint, deadline_at=deadline_at,
+        ).run()
+        accumulators = outcome.accumulators
+        chunk_seconds = outcome.chunk_seconds
+        stats = outcome.stats
+        retries = outcome.retries
+        failures = list(outcome.failures)
+        resumed_chunks = outcome.resumed_chunks
+        pool_restarts = outcome.pool_restarts
+        _merge_stats(stats, setops.STATS.delta(kernel_before))
+    elif workers <= 1:
         accumulators = _run_range(plan, graph, ctx, None, None, executor)
         chunk_seconds = [time.perf_counter() - started]
         stats = setops.STATS.delta(kernel_before)
@@ -140,20 +235,35 @@ def execute_plan(
         stats[key] = stats.get(key, 0) + value - cache_before.get(key, 0)
     # Globally-counted shrinkage corrections (see CompiledPlan.aux_plans):
     # each quotient pattern's injective count is subtracted once, instead
-    # of re-enumerating quotient extensions per cutting-set match.
+    # of re-enumerating quotient extensions per cutting-set match.  Aux
+    # plans share the checkpoint store (under their own fingerprints) and
+    # inherit whatever remains of the whole-run deadline, so resume and
+    # deadline semantics are exact for decomposed counts.
     for aux_plan, multiplier in plan.aux_plans:
+        aux_policy = policy
+        if deadline_at is not None:
+            aux_policy = replace(
+                policy, deadline_s=max(0.0, deadline_at - time.monotonic())
+            )
         aux_result = execute_plan(
             aux_plan, graph, workers=workers,
             chunks_per_worker=chunks_per_worker, executor=executor,
+            policy=aux_policy, checkpoint=checkpoint, supervised=supervised,
         )
         accumulators[COUNT_ACC] = (
             accumulators.get(COUNT_ACC, 0)
             - multiplier * aux_result.raw_count
         )
         _merge_stats(stats, aux_result.kernel_stats)
+        retries += aux_result.retries
+        failures.extend(aux_result.failures)
+        resumed_chunks += aux_result.resumed_chunks
+        pool_restarts += aux_result.pool_restarts
     elapsed = time.perf_counter() - started
     return ExecutionResult(
-        accumulators, elapsed, plan.info.divisor, chunk_seconds, stats
+        accumulators, elapsed, plan.info.divisor, chunk_seconds, stats,
+        failures=failures, retries=retries, resumed_chunks=resumed_chunks,
+        pool_restarts=pool_restarts,
     )
 
 
@@ -162,35 +272,68 @@ def _run_range(plan, graph, ctx, start, stop, executor) -> dict[str, int]:
         return plan.function(graph, ctx, start, stop)
     if executor == "interpreter":
         return run_interpreter(plan.root, graph, ctx, start, stop)
-    raise ValueError(f"unknown executor {executor!r}")
+    raise ExecutionError(f"unknown executor {executor!r}")
 
 
 # ----------------------------------------------------------------------
 # Fork-based parallel execution
 # ----------------------------------------------------------------------
+#
+# Fork state is keyed by a per-run token: each run registers its
+# (plan, graph, ...) under a fresh token before forking its pool, and
+# the pool initializer pins that token in every worker.  Children also
+# inherit states registered by *other* concurrent runs (threads, nested
+# executions) but only ever read their own — which is what makes
+# concurrent/nested ``execute_plan`` calls safe.  A run's state stays
+# registered until its pool is finished, because ``multiprocessing.Pool``
+# re-forks replacement workers from the parent after a worker death.
 
-_FORK_STATE: dict = {}
+_FORK_STATES: dict[int, dict] = {}
+_WORKER_TOKEN: int | None = None
+_TOKENS = itertools.count(1)
 
 
-def _chunk_worker(bounds: tuple[int, int]):
-    plan = _FORK_STATE["plan"]
-    graph = _FORK_STATE["graph"]
-    executor = _FORK_STATE["executor"]
+def _register_fork_state(state: dict) -> int:
+    token = next(_TOKENS)
+    _FORK_STATES[token] = state
+    return token
+
+
+def _release_fork_state(token: int) -> None:
+    _FORK_STATES.pop(token, None)
+
+
+def _set_worker_token(token: int) -> None:
+    """Pool initializer: pin this worker to its run's fork state."""
+    global _WORKER_TOKEN
+    _WORKER_TOKEN = token
+
+
+def _chunk_worker(task: tuple[int, int, int, int]):
+    index, attempt, start, stop = task
+    state = _FORK_STATES[_WORKER_TOKEN]
+    plan = state["plan"]
+    graph = state["graph"]
+    executor = state["executor"]
     ctx = ExecutionContext(plan.root.num_tables,
-                           predicates=_FORK_STATE["predicates"])
+                           predicates=state["predicates"],
+                           faults=state.get("faults"))
     chunk_started = time.perf_counter()
     kernel_before = setops.STATS.snapshot()
-    accumulators = _run_range(plan, graph, ctx, bounds[0], bounds[1], executor)
+    ctx.fire_faults(index, attempt)
+    accumulators = _run_range(plan, graph, ctx, start, stop, executor)
     stats = setops.STATS.delta(kernel_before)
     _merge_stats(stats, ctx.cache_counters())
-    return accumulators, time.perf_counter() - chunk_started, stats
+    return index, attempt, accumulators, time.perf_counter() - chunk_started, stats
 
 
 def _run_parallel(plan, graph, ctx, ranges, workers, executor):
     import multiprocessing as mp
 
     stats: dict[str, int] = {}
-    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX fallback
+    tasks = [(index, 1, start, stop)
+             for index, (start, stop) in enumerate(ranges)]
+    if not hasattr(os, "fork"):  # non-POSIX fallback
         merged: dict[str, int] = {}
         seconds = []
         for start, stop in ranges:
@@ -204,20 +347,23 @@ def _run_parallel(plan, graph, ctx, ranges, workers, executor):
                 merged[key] = merged.get(key, 0) + value
         return merged, seconds, stats
 
-    _FORK_STATE.update(
-        plan=plan, graph=graph, executor=executor,
-        predicates=list(ctx.predicates),
-    )
+    state = {
+        "plan": plan, "graph": graph, "executor": executor,
+        "predicates": list(ctx.predicates), "faults": ctx.faults,
+    }
+    token = _register_fork_state(state)
     try:
         context = mp.get_context("fork")
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(processes=workers,
+                          initializer=_set_worker_token,
+                          initargs=(token,)) as pool:
             merged = {}
             seconds = []
             # imap_unordered drains the shared chunk queue dynamically:
             # an idle worker immediately picks up unstarted chunks, the
             # work-stealing behaviour of the paper's runtime.
-            for partial, chunk_time, chunk_stats in pool.imap_unordered(
-                _chunk_worker, ranges
+            for _, _, partial, chunk_time, chunk_stats in pool.imap_unordered(
+                _chunk_worker, tasks
             ):
                 seconds.append(chunk_time)
                 _merge_stats(stats, chunk_stats)
@@ -225,4 +371,4 @@ def _run_parallel(plan, graph, ctx, ranges, workers, executor):
                     merged[key] = merged.get(key, 0) + value
         return merged, seconds, stats
     finally:
-        _FORK_STATE.clear()
+        _release_fork_state(token)

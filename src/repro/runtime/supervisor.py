@@ -1,0 +1,594 @@
+"""Chunk-level fault-tolerant execution supervisor.
+
+The engine's fork-pool path (paper §7.4) statically cuts the outermost
+loop into chunks; because every chunk accumulates into associative/
+commutative counters, any chunk is safely *re-executable*.  The
+supervisor exploits that: it tracks per-chunk state
+(pending → running → done/failed), re-dispatches chunks lost to worker
+death or wedged workers, retries chunks that raised (capped exponential
+backoff), enforces per-chunk timeouts and a whole-run deadline, and
+checkpoints completed chunks so a killed run resumes by skipping them.
+
+Recovery ladder, mildest first:
+
+1. **Chunk exception** — the worker survives; the chunk is requeued
+   with backoff until ``RunBudget.max_chunk_retries`` is exhausted.
+2. **Worker death / chunk timeout** — detected by a pool health check
+   (worker pid set or exit codes changed) or an ``AsyncResult`` that
+   outlives ``chunk_timeout_s``.  ``multiprocessing.Pool`` replaces
+   dead workers but silently loses their in-flight task, so the
+   supervisor drains finished results, terminates the pool, and
+   restarts it, re-dispatching every unfinished chunk (each in-flight
+   chunk is charged one attempt — a dispatch that produced no result).
+3. **Pool failure cap** — after ``max_pool_restarts`` restarts the pool
+   is abandoned and remaining chunks degrade to in-process serial
+   execution (still retried; ``"die"`` faults are simulated there).
+4. **Retry exhaustion / deadline / retry budget** — the chunk surfaces
+   a structured :class:`ChunkFailure` on
+   ``ExecutionResult.failures`` instead of crashing the run;
+   ``embedding_count`` then refuses with an
+   :class:`~repro.exceptions.ExecutionError`.
+
+Checkpointing writes one JSON line per completed chunk (accumulators,
+chunk time, kernel stats, attempts) keyed by a plan fingerprint that
+covers the plan source, executor, graph shape, and chunk count — aux
+(global-shrinkage) plans recurse with the same store under their own
+fingerprints, so resume is exact for decomposed counts too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.exceptions import ExecutionError
+from repro.runtime.context import ExecutionContext
+
+__all__ = [
+    "RunBudget",
+    "RunPolicy",
+    "ChunkFailure",
+    "CheckpointStore",
+    "Supervisor",
+    "SupervisorOutcome",
+    "plan_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Retry/deadline policy for one supervised execution.
+
+    Parameters
+    ----------
+    deadline_s:
+        Whole-run wall-clock deadline (spans aux-plan corrections);
+        chunks not finished when it expires fail with reason
+        ``"deadline"``.
+    chunk_timeout_s:
+        Per-chunk timeout on the pool path (unenforceable in-process,
+        where a chunk cannot be preempted).  A chunk whose result does
+        not arrive in time is presumed lost and triggers a pool restart.
+    max_chunk_retries:
+        Re-dispatches allowed per chunk before it fails permanently.
+    max_retries:
+        Optional global retry budget across all chunks of one plan.
+    backoff_s / backoff_cap_s:
+        Capped exponential backoff between retries of the same chunk:
+        ``min(backoff_s * 2**(attempt-1), backoff_cap_s)``.
+    max_pool_restarts:
+        Pool rebuilds tolerated before degrading to serial execution.
+    poll_interval_s:
+        Supervisor polling granularity on the pool path.
+    """
+
+    deadline_s: float | None = None
+    chunk_timeout_s: float | None = None
+    max_chunk_retries: int = 3
+    max_retries: int | None = None
+    backoff_s: float = 0.02
+    backoff_cap_s: float = 1.0
+    max_pool_restarts: int = 2
+    poll_interval_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ExecutionError("deadline_s must be >= 0")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ExecutionError("chunk_timeout_s must be > 0")
+        if self.max_chunk_retries < 0:
+            raise ExecutionError("max_chunk_retries must be >= 0")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ExecutionError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ExecutionError("backoff must be >= 0")
+        if self.max_pool_restarts < 0:
+            raise ExecutionError("max_pool_restarts must be >= 0")
+        if self.poll_interval_s <= 0:
+            raise ExecutionError("poll_interval_s must be > 0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before re-dispatching after failed ``attempt`` (1-based)."""
+        return min(self.backoff_s * (2 ** max(0, attempt - 1)),
+                   self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Session-level bundle: budget + checkpoint + supervision toggle.
+
+    ``DecoMine(run_policy=...)`` accepts this (or a bare
+    :class:`RunBudget`) and threads it into every counting execution.
+    """
+
+    budget: RunBudget | None = None
+    checkpoint: "CheckpointStore | str | Path | None" = None
+    supervised: bool | None = None
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """A chunk that could not be completed, with its exception chain."""
+
+    index: int
+    bounds: tuple[int, int]
+    attempts: int
+    reason: str  # "exception" | "timeout" | "worker-lost" | "deadline" | "retry-budget"
+    error: str | None = None
+    exc_chain: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        detail = f": {self.error}" if self.error else ""
+        return (f"chunk {self.index} [{self.bounds[0]}, {self.bounds[1]}) "
+                f"failed after {self.attempts} attempt(s) "
+                f"({self.reason}){detail}")
+
+
+def _exception_chain(exc: BaseException) -> tuple[str, ...]:
+    """``repr`` of the exception and its ``__cause__``/``__context__`` chain."""
+    chain: list[str] = []
+    seen: set[int] = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(repr(current))
+        current = current.__cause__ or current.__context__
+    return tuple(chain)
+
+
+def plan_fingerprint(plan, graph, executor: str, num_chunks: int) -> str:
+    """Stable identity of one (plan, graph, executor, chunking) run.
+
+    Covers everything that determines a chunk's accumulator values, so a
+    checkpoint recorded under this key is only ever replayed into an
+    identical execution.  The plan is identified by its spec and pattern
+    (code generation is a pure function of those, whereas ``plan.source``
+    embeds gensym counter state that varies across compilations); chunk
+    count is included because resume is per-chunk — a run re-chunked
+    differently ignores old records and starts clean.
+    """
+    digest = hashlib.sha256()
+    for part in (
+        plan.mode, str(plan.info.divisor), executor,
+        str(graph.num_vertices), str(graph.num_edges), str(num_chunks),
+        repr(plan.pattern), repr(plan.spec),
+    ):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+class CheckpointStore:
+    """Append-only JSON-lines log of completed chunks.
+
+    One record per line::
+
+        {"plan": <fingerprint>, "chunk": 3, "bounds": [120, 160],
+         "accumulators": {...}, "seconds": 0.8, "stats": {...},
+         "attempts": 2}
+
+    Records are flushed per chunk, so a killed process loses at most the
+    chunk it was writing; a torn final line is skipped on load.  Several
+    plans (a decomposed plan and its aux corrections, or many patterns
+    of one census) may share a store — records are filtered by
+    fingerprint on load.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+
+    def load(self, plan_key: str) -> dict[int, dict]:
+        """All well-formed records for ``plan_key``, keyed by chunk index."""
+        records: dict[int, dict] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write from a killed run
+            if not isinstance(record, dict) or record.get("plan") != plan_key:
+                continue
+            try:
+                records[int(record["chunk"])] = record
+            except (KeyError, TypeError, ValueError):
+                continue
+        return records
+
+    def record(
+        self,
+        plan_key: str,
+        index: int,
+        bounds: tuple[int, int],
+        accumulators: dict[str, int],
+        seconds: float,
+        stats: dict[str, int],
+        attempts: int,
+    ) -> None:
+        if self._fh is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {
+                "plan": plan_key,
+                "chunk": index,
+                "bounds": [int(bounds[0]), int(bounds[1])],
+                "accumulators": accumulators,
+                "seconds": seconds,
+                "stats": stats,
+                "attempts": attempts,
+            },
+            sort_keys=True,
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class SupervisorOutcome:
+    """What one supervised chunk sweep produced."""
+
+    accumulators: dict[str, int] = field(default_factory=dict)
+    chunk_seconds: list[float] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    failures: list[ChunkFailure] = field(default_factory=list)
+    resumed_chunks: int = 0
+    pool_restarts: int = 0
+
+
+class Supervisor:
+    """Drives one plan's chunks to completion despite partial failure.
+
+    The caller (``execute_plan``) owns chunking, aux-plan recursion, and
+    result assembly; the supervisor owns dispatch, recovery, and the
+    checkpoint.  Chunk workers are the engine's fork-pool workers; the
+    in-process serial path mirrors them with ``allow_exit=False`` fault
+    semantics and per-chunk contexts.
+    """
+
+    def __init__(
+        self,
+        plan,
+        graph,
+        ctx: ExecutionContext,
+        ranges: list[tuple[int, int]],
+        workers: int,
+        executor: str,
+        budget: RunBudget | None = None,
+        checkpoint: CheckpointStore | None = None,
+        deadline_at: float | None = None,
+    ) -> None:
+        self.plan = plan
+        self.graph = graph
+        self.predicates = list(ctx.predicates)
+        self.faults = ctx.faults
+        self.bounds = dict(enumerate(ranges))
+        self.workers = workers
+        self.executor = executor
+        self.budget = budget or RunBudget()
+        self.checkpoint = checkpoint
+        if deadline_at is None and self.budget.deadline_s is not None:
+            deadline_at = time.monotonic() + self.budget.deadline_s
+        self.deadline_at = deadline_at
+        self.plan_key = plan_fingerprint(plan, graph, executor, len(ranges))
+        # Per-chunk state: completed attempt counts, done accumulators.
+        self.attempts: dict[int, int] = dict.fromkeys(self.bounds, 0)
+        self.done: set[int] = set()
+        self.out = SupervisorOutcome()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SupervisorOutcome:
+        self._load_checkpoint()
+        pending = [i for i in sorted(self.bounds) if i not in self.done]
+        if pending and self.workers > 1 and hasattr(os, "fork"):
+            pending = self._run_pool(pending)
+        if pending:
+            self._run_serial(pending)
+        return self.out
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _deadline_expired(self, now: float | None = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline_at
+
+    def _record_success(self, index, attempt, accumulators, seconds, stats,
+                        from_checkpoint: bool = False) -> None:
+        if index in self.done:  # late duplicate after a pool restart
+            return
+        self.done.add(index)
+        self.attempts[index] = max(self.attempts[index], attempt)
+        for key, value in accumulators.items():
+            self.out.accumulators[key] = (
+                self.out.accumulators.get(key, 0) + value
+            )
+        self.out.chunk_seconds.append(seconds)
+        for key, value in stats.items():
+            self.out.stats[key] = self.out.stats.get(key, 0) + value
+        if from_checkpoint:
+            self.out.resumed_chunks += 1
+        elif self.checkpoint is not None:
+            self.checkpoint.record(
+                self.plan_key, index, self.bounds[index], accumulators,
+                seconds, stats, attempt,
+            )
+
+    def _record_failure(self, index: int, attempt: int, reason: str,
+                        exc: BaseException | None) -> bool:
+        """Charge one failed attempt; True iff the chunk should retry."""
+        self.attempts[index] = max(self.attempts[index], attempt)
+        budget = self.budget
+        exhausted = attempt > budget.max_chunk_retries
+        over_budget = (
+            budget.max_retries is not None
+            and self.out.retries >= budget.max_retries
+        )
+        if exhausted or over_budget:
+            self.out.failures.append(ChunkFailure(
+                index=index,
+                bounds=self.bounds[index],
+                attempts=self.attempts[index],
+                reason="retry-budget" if (over_budget and not exhausted)
+                       else reason,
+                error=repr(exc) if exc is not None else None,
+                exc_chain=_exception_chain(exc) if exc is not None else (),
+            ))
+            return False
+        self.out.retries += 1
+        return True
+
+    def _fail_remaining(self, indices, reason: str) -> None:
+        for index in indices:
+            if index in self.done:
+                continue
+            self.out.failures.append(ChunkFailure(
+                index=index,
+                bounds=self.bounds[index],
+                attempts=self.attempts[index],
+                reason=reason,
+            ))
+
+    def _load_checkpoint(self) -> None:
+        if self.checkpoint is None:
+            return
+        for index, record in self.checkpoint.load(self.plan_key).items():
+            bounds = self.bounds.get(index)
+            if bounds is None or list(bounds) != record.get("bounds"):
+                continue
+            self._record_success(
+                index,
+                int(record.get("attempts", 1)),
+                {k: int(v) for k, v in record.get("accumulators", {}).items()},
+                float(record.get("seconds", 0.0)),
+                {k: int(v) for k, v in record.get("stats", {}).items()},
+                from_checkpoint=True,
+            )
+
+    # ------------------------------------------------------------------
+    # Pool path
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending: list[int]) -> list[int]:
+        """Run chunks on a fork pool; returns chunks left for serial."""
+        import multiprocessing as mp
+
+        from repro.runtime import engine
+
+        mp_context = mp.get_context("fork")
+        state = {
+            "plan": self.plan,
+            "graph": self.graph,
+            "executor": self.executor,
+            "predicates": self.predicates,
+            "faults": self.faults,
+        }
+        token = engine._register_fork_state(state)
+        try:
+            while pending:
+                if self._deadline_expired():
+                    self._fail_remaining(pending, "deadline")
+                    return []
+                status, pending = self._pool_epoch(mp_context, token, pending)
+                if status == "done":
+                    return []
+                self.out.pool_restarts += 1
+                if self.out.pool_restarts > self.budget.max_pool_restarts:
+                    return pending  # degrade to in-process serial
+        finally:
+            engine._release_fork_state(token)
+        return []
+
+    def _pool_epoch(self, mp_context, token, pending):
+        """One pool lifetime: dispatch until done or a restart is needed."""
+        from repro.runtime import engine
+
+        budget = self.budget
+        now = time.monotonic()
+        queue: dict[int, float] = {i: now for i in pending}  # not-before
+        inflight: dict[int, tuple] = {}  # index -> (result, started, attempt)
+        pool = mp_context.Pool(
+            processes=self.workers,
+            initializer=engine._set_worker_token,
+            initargs=(token,),
+        )
+        pids = {worker.pid for worker in pool._pool}
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                if self._deadline_expired(now):
+                    self._drain(inflight, queue)
+                    self._fail_remaining(
+                        list(queue) + list(inflight), "deadline"
+                    )
+                    return "done", []
+                progressed = False
+                for index in [i for i, t in queue.items() if t <= now]:
+                    del queue[index]
+                    attempt = self.attempts[index] + 1
+                    result = pool.apply_async(
+                        engine._chunk_worker,
+                        ((index, attempt, *self.bounds[index]),),
+                    )
+                    inflight[index] = (result, now, attempt)
+                    progressed = True
+                restart_reason = None
+                for index, (result, started, attempt) in list(inflight.items()):
+                    if result.ready():
+                        del inflight[index]
+                        progressed = True
+                        try:
+                            self._record_success(*result.get())
+                        except Exception as exc:
+                            if self._record_failure(
+                                index, attempt, "exception", exc
+                            ):
+                                queue[index] = (
+                                    time.monotonic()
+                                    + budget.backoff_for(attempt)
+                                )
+                    elif (
+                        budget.chunk_timeout_s is not None
+                        and time.monotonic() - started > budget.chunk_timeout_s
+                    ):
+                        # Lost to a silent worker death or wedged: the
+                        # pool cannot cancel a running task, so the whole
+                        # pool is recycled.
+                        restart_reason = "timeout"
+                        break
+                if restart_reason is None and inflight:
+                    # Health check: a replaced or exited worker means its
+                    # in-flight task is lost forever (Pool repopulates
+                    # workers but never re-runs their tasks).
+                    alive = pool._pool
+                    if (
+                        any(w.exitcode is not None for w in alive)
+                        or {w.pid for w in alive} != pids
+                    ):
+                        restart_reason = "worker-lost"
+                if restart_reason is not None:
+                    self._drain(inflight, queue)
+                    for index, (result, started, attempt) in inflight.items():
+                        if index in self.done:
+                            continue
+                        if self._record_failure(
+                            index, attempt, restart_reason, None
+                        ):
+                            queue[index] = 0.0
+                    return "restart", sorted(queue)
+                if not progressed:
+                    time.sleep(budget.poll_interval_s)
+            return "done", []
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def _drain(self, inflight: dict, queue: dict) -> None:
+        """Consume already-finished results before abandoning a pool."""
+        for index, (result, started, attempt) in list(inflight.items()):
+            if not result.ready():
+                continue
+            del inflight[index]
+            try:
+                self._record_success(*result.get())
+            except Exception as exc:
+                if self._record_failure(index, attempt, "exception", exc):
+                    queue[index] = 0.0
+
+    # ------------------------------------------------------------------
+    # In-process serial path (non-POSIX hosts, workers=1, degraded mode)
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: list[int]) -> None:
+        from repro.runtime.engine import _merge_stats, _run_range
+
+        budget = self.budget
+        for position, index in enumerate(pending):
+            while True:
+                if self._deadline_expired():
+                    self._fail_remaining(pending[position:], "deadline")
+                    return
+                attempt = self.attempts[index] + 1
+                chunk_ctx = ExecutionContext(
+                    self.plan.root.num_tables,
+                    predicates=self.predicates,
+                    faults=self.faults,
+                )
+                started = time.perf_counter()
+                try:
+                    chunk_ctx.fire_faults(index, attempt, allow_exit=False)
+                    accumulators = _run_range(
+                        self.plan, self.graph, chunk_ctx,
+                        self.bounds[index][0], self.bounds[index][1],
+                        self.executor,
+                    )
+                except Exception as exc:
+                    if not self._record_failure(index, attempt, "exception",
+                                                exc):
+                        break
+                    pause = budget.backoff_for(attempt)
+                    if self.deadline_at is not None:
+                        pause = min(
+                            pause, max(0.0, self.deadline_at - time.monotonic())
+                        )
+                    if pause:
+                        time.sleep(pause)
+                    continue
+                # Kernel-dispatch counts are charged by the caller's
+                # global STATS delta (in-process execution, like the
+                # engine's non-POSIX fallback); only merge cache counters
+                # here to avoid double counting.
+                stats: dict[str, int] = {}
+                _merge_stats(stats, chunk_ctx.cache_counters())
+                self._record_success(
+                    index, attempt, accumulators,
+                    time.perf_counter() - started, stats,
+                )
+                break

@@ -109,8 +109,10 @@ class TestEngine:
         assert a.embedding_count == b.embedding_count
 
     def test_unknown_executor_rejected(self, small_random_graph):
+        from repro.exceptions import ExecutionError
+
         plan = compile_spec(decomp_spec(catalog.chain(3)))
-        with pytest.raises(ValueError):
+        with pytest.raises(ExecutionError):
             execute_plan(plan, small_random_graph, executor="jit")
 
     def test_parallel_execution_matches_serial(self, medium_random_graph):
@@ -123,8 +125,14 @@ class TestEngine:
         assert 0.0 < parallel.work_balance() <= 1.0
 
     def test_emit_mode_rejects_parallel(self, small_random_graph):
+        # An ExecutionError (a ReproError) so callers catch engine
+        # errors uniformly.
+        from repro.exceptions import ExecutionError, ReproError
+
         plan = compile_spec(decomp_spec(catalog.chain(3)), mode="emit")
-        with pytest.raises(ValueError):
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, small_random_graph, workers=2)
+        with pytest.raises(ReproError):
             execute_plan(plan, small_random_graph, workers=2)
 
 

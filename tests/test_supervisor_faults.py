@@ -1,0 +1,172 @@
+"""Differential fault-injection suite for the execution supervisor.
+
+The lock on the recovery machinery: for every catalog pattern, a
+parallel run with seeded worker deaths + chunk exceptions + delays
+(retries enabled) must produce the *exact* embedding count of the
+fault-free reference run, and a killed-then-resumed checkpointed run
+must match as well.  Faults default to firing on attempt 1 only, so a
+retried chunk succeeds and the fault-free count is recoverable; chunk
+re-execution is sound because the counting accumulators are associative
+and commutative.
+
+The suite reuses the catalog from ``test_differential_engines`` so the
+fault harness covers the same pattern set the kernel differential suite
+locks in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import reference
+from repro.compiler.pipeline import compile_pattern
+from repro.costmodel import profile_graph
+from repro.graph.generators import erdos_renyi
+from repro.runtime.context import ExecutionContext
+from repro.runtime.engine import execute_plan
+from repro.runtime.faults import Fault, FaultPlan
+from repro.runtime.supervisor import RunBudget
+
+from tests.test_differential_engines import PATTERNS
+
+WORKERS = 2
+CHUNKS_PER_WORKER = 4
+NUM_CHUNKS = WORKERS * CHUNKS_PER_WORKER
+
+#: One deterministic fault schedule per catalog pattern, keyed by its
+#: position in the sorted catalog — every seed draws a different mix of
+#: exceptions, worker deaths, and delays across the 8 chunks.
+NAMES = sorted(PATTERNS)
+
+
+def seeded_faults(seed: int) -> FaultPlan:
+    return FaultPlan.seeded(
+        seed,
+        NUM_CHUNKS,
+        exception_rate=0.4,
+        death_rate=0.15,
+        delay_rate=0.3,
+        delay_s=0.01,
+    )
+
+
+@pytest.fixture(scope="module")
+def env():
+    graph = erdos_renyi(16, 0.35, seed=3)
+    profile = profile_graph(graph, max_pattern_size=3, trials=60)
+    return graph, profile
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_faulted_parallel_counts_are_exact(name, env):
+    graph, profile = env
+    pattern = PATTERNS[name]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    faults = seeded_faults(NAMES.index(name))
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    result = execute_plan(
+        plan, graph, ctx=ctx,
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert result.ok, [f.describe() for f in result.failures]
+    assert result.embedding_count == expected
+    # Every disruptive fault (raise or die) forces at least one retry
+    # or pool restart; a delay-only schedule needs neither.
+    disruptive = any(f.kind in ("raise", "die") for f in faults.faults)
+    if disruptive:
+        assert result.retries + result.pool_restarts >= 1
+
+
+def test_worker_death_restarts_the_pool(env):
+    graph, profile = env
+    pattern = PATTERNS["house"]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    faults = FaultPlan((Fault("die", 1), Fault("die", 5)))
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    result = execute_plan(
+        plan, graph, ctx=ctx,
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert result.ok
+    assert result.embedding_count == expected
+    assert result.pool_restarts >= 1
+
+
+def test_chunk_timeout_recovers(env):
+    graph, profile = env
+    pattern = PATTERNS["cycle4"]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    # A first-attempt stall far past the chunk timeout; the retry (no
+    # delay on attempt 2) completes normally after the pool restart.
+    faults = FaultPlan((Fault("delay", 0, delay_s=1.5),))
+    budget = RunBudget(chunk_timeout_s=0.2, poll_interval_s=0.01)
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    result = execute_plan(
+        plan, graph, ctx=ctx, policy=budget,
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert result.ok
+    assert result.embedding_count == expected
+    assert result.pool_restarts >= 1
+
+
+def test_killed_then_resumed_checkpointed_run_is_exact(env, tmp_path):
+    """A run that dies partway leaves a usable checkpoint behind."""
+    graph, profile = env
+    pattern = PATTERNS["house"]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    path = tmp_path / "killed.jsonl"
+
+    # Chunk 2 fails on *every* attempt — the run exhausts its retries
+    # and reports an incomplete execution, exactly like a run killed by
+    # an operator or the OS after most chunks finished.
+    permanent = FaultPlan((Fault("raise", 2, attempts=None),))
+    ctx = ExecutionContext(plan.root.num_tables, faults=permanent)
+    budget = RunBudget(max_chunk_retries=1, backoff_s=0.001)
+    first = execute_plan(
+        plan, graph, ctx=ctx, policy=budget, checkpoint=str(path),
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert not first.ok
+    assert any(f.index == 2 for f in first.failures)
+    recorded = [
+        json.loads(line)["chunk"]
+        for line in path.read_text().splitlines() if line
+    ]
+    assert recorded, "completed chunks must be checkpointed"
+    assert 2 not in recorded
+
+    # The resumed run (faults gone — the poison cleared) replays the
+    # checkpointed chunks and executes only the missing ones.
+    second = execute_plan(
+        plan, graph, checkpoint=str(path),
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert second.ok
+    assert second.embedding_count == expected
+    assert second.resumed_chunks == len(set(recorded))
+
+
+def test_faulted_runs_match_fault_free_stats_free(env):
+    """Fault-free and faulted runs agree accumulator-for-accumulator."""
+    graph, profile = env
+    pattern = PATTERNS["clique4"]
+    plan = compile_pattern(pattern, profile)
+    clean = execute_plan(
+        plan, graph, workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    faults = seeded_faults(1234)
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    faulted = execute_plan(
+        plan, graph, ctx=ctx,
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+    )
+    assert faulted.ok
+    assert faulted.accumulators == clean.accumulators
+    assert faulted.embedding_count == clean.embedding_count
