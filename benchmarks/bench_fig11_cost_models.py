@@ -21,6 +21,7 @@ from repro.compiler import compile_spec, random_spec
 from repro.compiler.pipeline import compile_pattern
 from repro.costmodel import estimate_cost, get_model
 from repro.graph import datasets
+from repro.observe import CalibrationRecorder
 from repro.patterns.catalog import figure11_patterns
 from repro.runtime.engine import execute_plan
 
@@ -47,9 +48,11 @@ def run_experiment():
         "Figure 11b: cost-model correlation with actual runtime "
         "(paper: R_approx > R_locality > R_automine)",
         ["pattern", "implementations", "R automine", "R locality",
-         "R approx_mining"],
+         "R approx_mining", "rho automine", "rho locality",
+         "rho approx_mining"],
     )
     correlations = {}
+    calibrations = {}
     rng = random.Random(7)
     for name, pattern in evaluated.items():
         specs = [
@@ -58,6 +61,7 @@ def run_experiment():
         ]
         runtimes = []
         costs = {m: [] for m in MODELS}
+        recorder = CalibrationRecorder()
         for spec in specs:
             plan = compile_spec(spec)
             cell = time_call_preemptive(
@@ -70,10 +74,24 @@ def run_experiment():
                 costs[m].append(
                     max(estimate_cost(plan.root, profile, get_model(m)), 1e-9)
                 )
+            recorder.record(
+                pattern=name, plan=spec.describe(), seconds=runtimes[-1],
+                estimates={m: costs[m][-1] for m in MODELS},
+            )
         rs = {m: correlation(costs[m], runtimes) for m in MODELS}
         correlations[name] = rs
-        corr_table.add_row(name, len(runtimes),
-                           *(f"{rs[m]:.3f}" for m in MODELS))
+        calibration = recorder.report()
+        calibrations[name] = calibration
+        corr_table.add_row(
+            name, len(runtimes),
+            *(f"{rs[m]:.3f}" for m in MODELS),
+            *(f"{calibration.spearman[m]:+.3f}" for m in MODELS),
+        )
+    corr_table.add_note(
+        "R: Pearson on log(cost) vs log(runtime); rho: Spearman rank "
+        "correlation from the observe.calibration recorder (plan-ranking "
+        "quality, the quantity plan selection actually depends on)"
+    )
 
     end_table = Table(
         "Figure 11c: runtime of the plan each model selects "
@@ -94,11 +112,12 @@ def run_experiment():
             row.append(f"{times[m]:.2f}s" if cell.ok else "T")
         end_to_end[name] = times
         end_table.add_row(*row)
-    return corr_table, end_table, correlations, end_to_end
+    return corr_table, end_table, correlations, end_to_end, calibrations
 
 
 def test_fig11_cost_models(report, run_once):
-    corr_table, end_table, correlations, end_to_end = run_once(run_experiment)
+    (corr_table, end_table, correlations, end_to_end,
+     calibrations) = run_once(run_experiment)
     report(corr_table, end_table)
     for name, rs in correlations.items():
         # Shape: the approximate-mining model must correlate positively
@@ -106,5 +125,10 @@ def test_fig11_cost_models(report, run_once):
         assert rs["approx_mining"] > 0.0, name
         if not math.isnan(rs["automine"]):
             assert rs["approx_mining"] >= rs["automine"] - 0.05, name
+    for name, calibration in calibrations.items():
+        # The calibration recorder's rank view must agree: ranking plans
+        # by the approximate-mining estimate ranks them by measured time.
+        assert calibration.num_records > 2, name
+        assert calibration.spearman["approx_mining"] > 0.0, name
     for name, times in end_to_end.items():
         assert times["approx_mining"] <= times["automine"] * 1.3, name

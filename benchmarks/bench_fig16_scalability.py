@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import heapq
 
+from repro import observe
 from repro.bench import Table, session_for
 from repro.graph import datasets
 from repro.patterns import catalog
-from repro.runtime.engine import chunk_ranges, execute_plan
+from repro.runtime.engine import EngineOptions, chunk_ranges, execute_plan
+from repro.runtime.supervisor import RunPolicy
 
 PAPER_16T = 15.11
 
@@ -75,22 +77,46 @@ def run_experiment():
     )
 
     # Exercise the real parallel engine once (2 workers) for correctness.
-    parallel = execute_plan(plan, graph, workers=2)
+    parallel = execute_plan(plan, graph, options=EngineOptions(workers=2))
     table.add_note(
         f"fork-pool run (2 workers): count={parallel.embedding_count:,}, "
         f"work balance={parallel.work_balance():.2f}"
     )
-    stats = parallel.kernel_stats
+    metrics = parallel.metrics
+    stats = metrics.kernel_stats
     table.add_note(
-        f"set-op kernels: {parallel.kernel_calls:,} calls "
+        f"set-op kernels: {metrics.kernel_calls:,} calls "
         f"(gallop {stats.get('intersect_gallop', 0) + stats.get('subtract_gallop', 0):,}, "
         f"merge {stats.get('intersect_merge', 0) + stats.get('subtract_merge', 0):,}, "
         f"bounded {stats.get('bounded', 0):,}); "
-        f"memo cache hit rate {parallel.cache_hit_rate:.1%} "
+        f"memo cache hit rate {metrics.cache_hit_rate:.1%} "
         f"({stats.get('cache_hits', 0):,} hits / "
         f"{stats.get('cache_misses', 0):,} misses)"
     )
     assert parallel.raw_count == total
+
+    # Tracing coverage: a supervised 4-worker run with tracing on must
+    # produce a trace whose chunk spans account for the measured chunk
+    # time — worker spans really do travel back through the result
+    # channel and cover the execution.
+    observe.enable("fig16")
+    traced = execute_plan(plan, graph, options=EngineOptions(workers=4),
+                          policy=RunPolicy(supervised=True))
+    trace = observe.disable()
+    assert traced.raw_count == total
+    span_total = trace.total("chunk")
+    chunk_total = sum(traced.chunk_seconds)
+    assert len(trace.find("chunk")) == len(traced.chunk_seconds)
+    assert abs(span_total - chunk_total) <= 0.10 * chunk_total
+    trace_coverage = span_total / traced.seconds
+    table.add_note(
+        f"tracing (supervised, 4 workers): {len(trace.spans)} spans; "
+        f"chunk spans sum to {span_total * 1000:.1f}ms = "
+        f"{span_total / chunk_total:.1%} of measured chunk time, "
+        f"{trace_coverage:.1%} of wall time (workers overlap, so >100% "
+        f"means real concurrency; <100% is pool startup + supervisor "
+        f"polling); JSON export {len(trace.to_json())} bytes"
+    )
 
     # Supervisor overhead: the fault-tolerant chunk supervisor (retry/
     # backoff bookkeeping, health polling, dedup) versus the raw
@@ -100,8 +126,9 @@ def run_experiment():
         best, result = float("inf"), None
         for _ in range(rounds):
             started = time.perf_counter()
-            result = execute_plan(plan, graph, workers=4,
-                                  supervised=supervised)
+            result = execute_plan(plan, graph,
+                                  options=EngineOptions(workers=4),
+                                  policy=RunPolicy(supervised=supervised))
             best = min(best, time.perf_counter() - started)
         return best, result
 
@@ -113,7 +140,8 @@ def run_experiment():
         f"supervisor overhead (fault-free, 4 workers, best of 5): "
         f"supervised {sup_s * 1000:.1f}ms vs raw pool "
         f"{raw_s * 1000:.1f}ms -> {overhead_pct:+.1f}% "
-        f"({sup.retries} retries, {sup.pool_restarts} pool restarts)"
+        f"({sup.metrics.retries} retries, "
+        f"{sup.metrics.pool_restarts} pool restarts)"
     )
     return table, speedups, overhead_pct, (sup_s - raw_s) * 1000.0
 

@@ -13,7 +13,7 @@ Run:  python examples/parallel_mining.py
 from repro import catalog
 from repro.bench import session_for
 from repro.graph import datasets
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 
 
 def main() -> None:
@@ -24,13 +24,13 @@ def main() -> None:
     print(f"graph: {graph}")
     print(f"plan:  {plan.describe()}\n")
 
-    serial = execute_plan(plan, graph, workers=1)
+    serial = execute_plan(plan, graph, options=EngineOptions(workers=1))
     print(f"serial:    count={serial.embedding_count:,} "
           f"in {serial.seconds:.2f}s")
 
     for workers in (2, 4):
-        parallel = execute_plan(plan, graph, workers=workers,
-                                chunks_per_worker=8)
+        parallel = execute_plan(plan, graph, options=EngineOptions(
+            workers=workers, chunks_per_worker=8))
         assert parallel.raw_count == serial.raw_count
         print(f"{workers} workers: count={parallel.embedding_count:,} "
               f"in {parallel.seconds:.2f}s "

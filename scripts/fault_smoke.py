@@ -28,9 +28,9 @@ from repro.costmodel import profile_graph
 from repro.graph.generators import erdos_renyi
 from repro.patterns import catalog
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 from repro.runtime.faults import Fault, FaultPlan
-from repro.runtime.supervisor import RunBudget
+from repro.runtime.supervisor import RunBudget, RunPolicy
 
 PATTERNS = {
     "house": catalog.house,
@@ -41,6 +41,7 @@ PATTERNS = {
 
 WORKERS = 2
 CHUNKS_PER_WORKER = 4
+OPTIONS = EngineOptions(workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER)
 
 
 def run_smoke(seed: int) -> dict:
@@ -59,16 +60,13 @@ def run_smoke(seed: int) -> dict:
             delay_s=0.01,
         )
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
-        result = execute_plan(
-            plan, graph, ctx=ctx,
-            workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
-        )
+        result = execute_plan(plan, graph, ctx=ctx, options=OPTIONS)
         entry = {
             "expected": expected,
             "count": result.embedding_count if result.ok else None,
             "injected_faults": len(faults.faults),
-            "retries": result.retries,
-            "pool_restarts": result.pool_restarts,
+            "retries": result.metrics.retries,
+            "pool_restarts": result.metrics.pool_restarts,
             "failures": [f.describe() for f in result.failures],
             "ok": result.ok and result.embedding_count == expected,
         }
@@ -88,23 +86,25 @@ def run_smoke(seed: int) -> dict:
             faults=FaultPlan((Fault("raise", 2, attempts=None),)),
         )
         first = execute_plan(
-            plan, graph, ctx=poisoned, checkpoint=path,
-            policy=RunBudget(max_chunk_retries=1, backoff_s=0.001),
-            workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+            plan, graph, ctx=poisoned, options=OPTIONS,
+            policy=RunPolicy(
+                budget=RunBudget(max_chunk_retries=1, backoff_s=0.001),
+                checkpoint=path,
+            ),
         )
         second = execute_plan(
-            plan, graph, checkpoint=path,
-            workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+            plan, graph, options=OPTIONS,
+            policy=RunPolicy(checkpoint=path),
         )
     resumed_ok = (
         not first.ok
         and second.ok
         and second.embedding_count == expected
-        and second.resumed_chunks > 0
+        and second.metrics.resumed_chunks > 0
     )
     report["checkpoint_resume"] = {
         "first_failures": [f.describe() for f in first.failures],
-        "resumed_chunks": second.resumed_chunks,
+        "resumed_chunks": second.metrics.resumed_chunks,
         "count": second.embedding_count if second.ok else None,
         "expected": expected,
         "ok": resumed_ok,

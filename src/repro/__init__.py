@@ -15,21 +15,25 @@ See README.md for the architecture overview and DESIGN.md for the mapping
 from the paper's sections to modules.
 """
 
+from repro import observe
 from repro.api.session import DecoMine
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
+from repro.runtime.engine import EngineOptions
 from repro.runtime.partial_embedding import PartialEmbedding
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DecoMine",
+    "EngineOptions",
     "CSRGraph",
     "GraphBuilder",
     "Pattern",
     "PartialEmbedding",
     "catalog",
+    "observe",
     "__version__",
 ]

@@ -20,6 +20,8 @@ it, which is the paper's central usability claim.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.compiler.pipeline import CompiledPlan, compile_pattern
@@ -28,11 +30,13 @@ from repro.compiler.specs import Constraint, DecompSpec, DirectSpec
 from repro.costmodel import CostModel, CostProfile, get_model, profile_graph
 from repro.exceptions import PatternError
 from repro.graph.csr import CSRGraph
+from repro.observe.calibration import calibrating, record_plan_execution
+from repro.observe.trace import span
 from repro.patterns.conversion import edge_induced_requirements
 from repro.patterns.isomorphism import automorphisms, canonical_code
 from repro.patterns.pattern import Pattern
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import ExecutionResult, execute_plan
+from repro.runtime.engine import EngineOptions, ExecutionResult, execute_plan
 from repro.runtime.partial_embedding import PartialEmbedding, materialize
 from repro.runtime.supervisor import RunBudget, RunPolicy
 
@@ -51,8 +55,12 @@ class DecoMine:
     cost_model:
         ``"approx_mining"`` (default), ``"locality"``, ``"automine"``, or
         a :class:`~repro.costmodel.CostModel` instance.
-    workers:
-        Parallel workers for counting executions (1 = serial).
+    engine:
+        An :class:`~repro.runtime.engine.EngineOptions` bundle applied
+        to every counting execution: worker count, chunking, executor
+        choice, set-op cache policy, fault plan.  The pre-redesign
+        ``workers=``/``executor=`` keywords keep working for one release
+        (folded into ``engine`` with a :class:`DeprecationWarning`).
     search_options:
         Caps/toggles for the compiler's algorithm search.
     profile:
@@ -64,28 +72,47 @@ class DecoMine:
         counting execution: retry/backoff caps, deadlines, and an
         optional checkpoint for killed-run resume.  ``last_result``
         keeps the most recent :class:`ExecutionResult`, whose
-        ``failures``/``retries``/``resumed_chunks`` fields surface what
-        the supervisor had to do.
+        ``failures`` list and ``metrics`` view surface what the
+        supervisor had to do.
+
+    When a calibration recorder is active (``observe.calibrate()``),
+    every counting execution logs its per-model cost estimate against
+    measured seconds for the prediction-quality report.
     """
 
     def __init__(
         self,
         graph: CSRGraph,
         cost_model: CostModel | str = "approx_mining",
-        workers: int = 1,
+        workers: int | None = None,
         search_options: SearchOptions | None = None,
         profile: CostProfile | None = None,
-        executor: str = "codegen",
+        executor: str | None = None,
         profile_seed: int = 0,
         run_policy: RunPolicy | RunBudget | None = None,
+        *,
+        engine: EngineOptions | None = None,
     ) -> None:
         self.graph = graph
         self.model = (
             get_model(cost_model) if isinstance(cost_model, str) else cost_model
         )
-        self.workers = workers
+        legacy = {
+            key: value
+            for key, value in (("workers", workers), ("executor", executor))
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                "DecoMine("
+                + "/".join(f"{k}=" for k in legacy)
+                + ") is deprecated; pass engine=EngineOptions(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = replace(engine or EngineOptions(), **legacy)
+        self.engine_options = engine if engine is not None else EngineOptions()
         self.options = search_options or SearchOptions()
-        self.executor = executor
         if isinstance(run_policy, RunBudget):
             run_policy = RunPolicy(budget=run_policy)
         self.run_policy = run_policy
@@ -94,6 +121,27 @@ class DecoMine:
         self._profile_seed = profile_seed
         self._plan_cache: dict = {}
 
+    # Deprecated spellings of the engine knobs (one release).
+    @property
+    def workers(self) -> int:
+        warnings.warn(
+            "DecoMine.workers is deprecated; use "
+            "DecoMine.engine_options.workers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine_options.workers
+
+    @property
+    def executor(self) -> str:
+        warnings.warn(
+            "DecoMine.executor is deprecated; use "
+            "DecoMine.engine_options.executor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine_options.executor
+
     # ------------------------------------------------------------------
     # Profiling
     # ------------------------------------------------------------------
@@ -101,7 +149,10 @@ class DecoMine:
     def profile(self) -> CostProfile:
         """The graph profile, computed lazily on first use."""
         if self._profile is None:
-            self._profile = profile_graph(self.graph, seed=self._profile_seed)
+            with span("profile", vertices=self.graph.num_vertices):
+                self._profile = profile_graph(
+                    self.graph, seed=self._profile_seed
+                )
         return self._profile
 
     # ------------------------------------------------------------------
@@ -189,21 +240,18 @@ class DecoMine:
     def _execute(
         self, plan: CompiledPlan, ctx: ExecutionContext | None = None
     ) -> ExecutionResult:
-        workers = self.workers if plan.mode == "count" else 1
-        kwargs: dict = {}
+        options = self.engine_options
         # Supervision re-runs chunks, which is only sound for counting
         # accumulators — emit-mode UDF deliveries are not idempotent.
-        if self.run_policy is not None and plan.mode == "count":
-            kwargs = dict(
-                policy=self.run_policy.budget,
-                checkpoint=self.run_policy.checkpoint,
-                supervised=self.run_policy.supervised,
-            )
+        policy = self.run_policy if plan.mode == "count" else None
+        if plan.mode != "count" and options.workers != 1:
+            options = replace(options, workers=1)
         result = execute_plan(
-            plan, self.graph, ctx=ctx, workers=workers,
-            executor=self.executor, **kwargs,
+            plan, self.graph, ctx=ctx, options=options, policy=policy,
         )
         self.last_result = result
+        if plan.mode == "count" and calibrating():
+            record_plan_execution(plan, self.profile, result.seconds)
         return result
 
     # ------------------------------------------------------------------
@@ -293,8 +341,8 @@ class DecoMine:
         predicates = [predicate for predicate, _ in constraints]
         plan = self.plan_for(pattern, constraints=specs)
         ctx = ExecutionContext(plan.root.num_tables, predicates=predicates)
-        result = execute_plan(plan, self.graph, ctx=ctx, workers=1,
-                              executor=self.executor)
+        options = replace(self.engine_options, workers=1)
+        result = execute_plan(plan, self.graph, ctx=ctx, options=options)
         return result.raw_count
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.exceptions import BudgetExceededError
+from repro.observe.trace import span
 
 __all__ = ["Measurement", "time_call", "speedup"]
 
@@ -66,7 +67,8 @@ def time_call(
     """
     started = time.perf_counter()
     try:
-        value = fn(*args, **kwargs)
+        with span("bench:call", fn=getattr(fn, "__name__", "call")):
+            value = fn(*args, **kwargs)
     except BudgetExceededError:
         return Measurement(None, None, status="crashed")
     elapsed = time.perf_counter() - started

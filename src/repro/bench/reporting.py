@@ -2,11 +2,13 @@
 
 Every benchmark prints a table with the reproduction's measurements next
 to the paper's published numbers, so shape-preservation (who wins, by
-roughly what factor) is visible at a glance.
+roughly what factor) is visible at a glance.  ``Table.to_json`` gives CI
+a machine-readable artifact of the same content.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["Table", "format_paper_reference"]
@@ -49,6 +51,17 @@ class Table:
 
     def show(self) -> None:
         print("\n" + self.render() + "\n")
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 def format_paper_reference(paper_value: str) -> str:

@@ -21,6 +21,7 @@ from repro.baselines import (
 )
 from repro.costmodel import CostProfile, profile_graph
 from repro.graph.csr import CSRGraph
+from repro.runtime.engine import EngineOptions
 
 __all__ = ["profile_for", "session_for", "make_system", "SYSTEM_NAMES",
            "is_cached_system"]
@@ -63,7 +64,8 @@ def session_for(graph: CSRGraph, cost_model: str = "approx_mining",
     key = (id(graph), cost_model, workers)
     if key not in _SESSIONS:
         _SESSIONS[key] = DecoMine(
-            graph, cost_model=cost_model, workers=workers,
+            graph, cost_model=cost_model,
+            engine=EngineOptions(workers=workers),
             profile=profile_for(graph),
         )
     return _SESSIONS[key]

@@ -7,6 +7,7 @@ Examples::
     python -m repro census --dataset emaileucore --size 4
     python -m repro fsm --dataset mico --support 20
     python -m repro explain --dataset wikivote --pattern 4-chain
+    python -m repro stats --dataset wikivote --pattern house --format json
     python -m repro datasets
 
 Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
@@ -22,6 +23,7 @@ import time
 
 from repro.api.session import DecoMine
 from repro.exceptions import ExecutionError, PatternError
+from repro.runtime.engine import EngineOptions
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
 
@@ -106,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON-lines checkpoint file: completed chunks "
                             "are recorded there and a rerun with the same "
                             "file (and same --workers) skips them")
+    count.add_argument("--trace", metavar="FILE",
+                       help="record a span trace of the run to FILE (JSON)")
+    count.add_argument("--chrome-trace", metavar="FILE",
+                       help="also write the trace as a Chrome trace_event "
+                            "file (chrome://tracing / Perfetto)")
 
     census = sub.add_parser("census", help="k-motif census")
     _add_graph_args(census)
@@ -121,6 +128,30 @@ def main(argv: list[str] | None = None) -> int:
     explain.add_argument("--pattern", required=True)
     explain.add_argument("--source", action="store_true",
                          help="print the generated plan source")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a counting workload with observability on and dump the "
+             "metrics registry",
+    )
+    _add_graph_args(stats)
+    stats.add_argument("--pattern", default="triangle",
+                       help="pattern name, or a comma-separated list to "
+                            "run several (gives the calibration report "
+                            "plans to rank)")
+    stats.add_argument("--workers", type=int, default=1)
+    stats.add_argument("--format", choices=("json", "prometheus"),
+                       default="json", help="metrics export format")
+    stats.add_argument("--output", metavar="FILE",
+                       help="write metrics to FILE instead of stdout")
+    stats.add_argument("--trace", metavar="FILE",
+                       help="record a span trace of the run to FILE (JSON)")
+    stats.add_argument("--chrome-trace", metavar="FILE",
+                       help="write the trace as a Chrome trace_event file")
+    stats.add_argument("--calibration-out", metavar="FILE",
+                       help="record cost-model calibration during the run "
+                            "and write the prediction-vs-actual report "
+                            "(JSON) to FILE")
 
     sub.add_parser("datasets", help="list built-in dataset analogues")
 
@@ -149,13 +180,18 @@ def main(argv: list[str] | None = None) -> int:
     session = DecoMine(
         graph,
         cost_model=args.cost_model,
-        workers=getattr(args, "workers", 1),
+        engine=EngineOptions(workers=getattr(args, "workers", 1)),
         run_policy=run_policy,
     )
     print(f"graph: {graph}", file=sys.stderr)
 
     if args.command == "count":
         pattern = parse_pattern(args.pattern)
+        tracing = args.trace or args.chrome_trace
+        if tracing:
+            from repro import observe
+
+            observe.enable("count")
         started = time.perf_counter()
         try:
             value = session.get_pattern_count(pattern, induced=args.induced)
@@ -170,16 +206,23 @@ def main(argv: list[str] | None = None) -> int:
                           f"{args.resume}; rerun with --resume to continue",
                           file=sys.stderr)
             return 2
+        finally:
+            if tracing:
+                _write_trace(args.trace, args.chrome_trace)
         elapsed = time.perf_counter() - started
         kind = "vertex-induced" if args.induced else "edge-induced"
         print(f"{pattern.name}: {value} {kind} embeddings "
               f"({elapsed:.2f}s)")
         result = session.last_result
         if run_policy is not None and result is not None:
-            print(f"supervisor: {result.retries} retries, "
-                  f"{result.resumed_chunks} chunks resumed from checkpoint, "
-                  f"{result.pool_restarts} pool restarts", file=sys.stderr)
+            metrics = result.metrics
+            print(f"supervisor: {metrics.retries} retries, "
+                  f"{metrics.resumed_chunks} chunks resumed from checkpoint, "
+                  f"{metrics.pool_restarts} pool restarts", file=sys.stderr)
         return 0
+
+    if args.command == "stats":
+        return _run_stats(args, session)
 
     if args.command == "census":
         from repro.apps import DecoMineMiner, count_motifs
@@ -217,6 +260,56 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+def _write_trace(json_path: str | None, chrome_path: str | None) -> None:
+    from repro import observe
+
+    trace = observe.disable()
+    if trace is None:
+        return
+    if json_path:
+        trace.write_json(json_path)
+        print(f"trace: {json_path} ({len(trace.spans)} spans)",
+              file=sys.stderr)
+    if chrome_path:
+        trace.write_chrome(chrome_path)
+        print(f"chrome trace: {chrome_path}", file=sys.stderr)
+
+
+def _run_stats(args, session: DecoMine) -> int:
+    """``repro stats``: one observed counting run, then dump the registry."""
+    from repro import observe
+
+    tracing = args.trace or args.chrome_trace
+    if tracing:
+        observe.enable("stats")
+    if args.calibration_out:
+        observe.calibrate()
+    patterns = [parse_pattern(text) for text in args.pattern.split(",")]
+    try:
+        for pattern in patterns:
+            value = session.get_pattern_count(pattern)
+            print(f"{pattern.name}: {value} embeddings", file=sys.stderr)
+    finally:
+        if tracing:
+            _write_trace(args.trace, args.chrome_trace)
+    if args.calibration_out:
+        recorder = observe.calibrate(False)
+        report = recorder.report()
+        with open(args.calibration_out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(report.render(), file=sys.stderr)
+        print(f"calibration report: {args.calibration_out}", file=sys.stderr)
+    text = (observe.REGISTRY.to_json() if args.format == "json"
+            else observe.REGISTRY.to_prometheus())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"metrics: {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

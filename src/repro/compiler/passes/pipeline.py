@@ -19,6 +19,7 @@ from repro.compiler.passes.dce import dead_code_elimination
 from repro.compiler.passes.elide import elide_counting_loops
 from repro.compiler.passes.fuse import fuse_bounded_ops
 from repro.compiler.passes.licm import loop_invariant_code_motion
+from repro.observe.trace import span
 
 __all__ = ["PassOptions", "optimize"]
 
@@ -53,13 +54,23 @@ def optimize(root: Root, options: PassOptions = PassOptions()) -> PassReport:
     """Run the middle end in place; returns a per-pass activity report."""
     report = PassReport()
     if options.elide:
-        report.elided_loops = elide_counting_loops(root)
+        with span("pass:elide") as s:
+            report.elided_loops = elide_counting_loops(root)
+            s.set(elided_loops=report.elided_loops)
     if options.licm:
-        report.hoisted = loop_invariant_code_motion(root)
+        with span("pass:licm") as s:
+            report.hoisted = loop_invariant_code_motion(root)
+            s.set(hoisted=report.hoisted)
     if options.cse:
-        report.unified = common_subexpression_elimination(root)
+        with span("pass:cse") as s:
+            report.unified = common_subexpression_elimination(root)
+            s.set(unified=report.unified)
     if options.fuse:
-        report.fused = fuse_bounded_ops(root)
+        with span("pass:fuse") as s:
+            report.fused = fuse_bounded_ops(root)
+            s.set(fused=report.fused)
     if options.dce:
-        report.removed = dead_code_elimination(root)
+        with span("pass:dce") as s:
+            report.removed = dead_code_elimination(root)
+            s.set(removed=report.removed)
     return report

@@ -20,6 +20,7 @@ from repro.compiler.passes import PassOptions, optimize
 from repro.compiler.search import SearchOptions, search
 from repro.compiler.specs import Constraint, PlanSpec
 from repro.costmodel import CostModel, CostProfile, get_model
+from repro.observe.trace import span
 from repro.patterns.pattern import Pattern
 
 __all__ = ["CompiledPlan", "compile_pattern", "compile_spec"]
@@ -91,28 +92,31 @@ def compile_pattern(
         if cached is not None:
             return cached
     started = time.perf_counter()
-    best = search(
-        pattern, profile, model, mode=mode, induced=induced,
-        constraints=constraints, options=options,
-    )
-    function, source = compile_root(best.root)
-    aux_plans: tuple = ()
-    spec = best.spec
-    if getattr(spec, "include_shrinkages", True) is False:
-        from repro.patterns.isomorphism import automorphism_count
+    with span("compile", pattern=pattern.name or repr(pattern), mode=mode):
+        with span("search"):
+            best = search(
+                pattern, profile, model, mode=mode, induced=induced,
+                constraints=constraints, options=options,
+            )
+        with span("codegen"):
+            function, source = compile_root(best.root)
+        aux_plans: tuple = ()
+        spec = best.spec
+        if getattr(spec, "include_shrinkages", True) is False:
+            from repro.patterns.isomorphism import automorphism_count
 
-        aux = []
-        for shrinkage in spec.decomposition.shrinkages:
-            quotient_plan = compile_pattern(
-                shrinkage.pattern, profile, model, mode="count",
-                options=options,
-            )
-            multiplier = (
-                automorphism_count(shrinkage.pattern)
-                // quotient_plan.info.divisor
-            )
-            aux.append((quotient_plan, multiplier))
-        aux_plans = tuple(aux)
+            aux = []
+            for shrinkage in spec.decomposition.shrinkages:
+                quotient_plan = compile_pattern(
+                    shrinkage.pattern, profile, model, mode="count",
+                    options=options,
+                )
+                multiplier = (
+                    automorphism_count(shrinkage.pattern)
+                    // quotient_plan.info.divisor
+                )
+                aux.append((quotient_plan, multiplier))
+            aux_plans = tuple(aux)
     elapsed = time.perf_counter() - started
     plan = CompiledPlan(
         pattern=pattern,

@@ -25,6 +25,7 @@ from repro.compiler.passes import PassOptions, optimize
 from repro.compiler.specs import Constraint, DecompSpec, DirectSpec, PlanSpec
 from repro.costmodel import CostModel, CostProfile, estimate_cost
 from repro.exceptions import CompilationError
+from repro.observe.trace import span
 from repro.patterns.decomposition import Decomposition, all_decompositions
 from repro.patterns.isomorphism import automorphism_count
 from repro.patterns.matching_order import (
@@ -130,12 +131,15 @@ def _evaluate(
     model: CostModel,
     options: SearchOptions,
 ) -> PlanCandidate:
-    root, info = build_ast(spec, mode)
-    optimize(root, options.passes)
-    cost = estimate_cost(root, profile, model)
-    if isinstance(spec, DecompSpec) and not spec.include_shrinkages:
-        for shrinkage in spec.decomposition.shrinkages:
-            cost += _global_count_estimate(shrinkage.pattern, profile, model)
+    with span("candidate", kind=spec.kind) as s:
+        root, info = build_ast(spec, mode)
+        optimize(root, options.passes)
+        cost = estimate_cost(root, profile, model)
+        if isinstance(spec, DecompSpec) and not spec.include_shrinkages:
+            for shrinkage in spec.decomposition.shrinkages:
+                cost += _global_count_estimate(shrinkage.pattern, profile,
+                                               model)
+        s.set(cost=float(cost))
     return PlanCandidate(spec=spec, root=root, info=info, cost=cost)
 
 

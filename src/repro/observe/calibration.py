@@ -1,0 +1,204 @@
+"""Cost-model calibration: prediction-vs-actual recording and reporting.
+
+DecoMine's thesis is that the compiler can *predict* which plan is
+cheapest (paper §5, Figure 11).  The calibration recorder keeps that
+claim honest on live runs: when enabled, every executed plan logs a
+``(plan, per-model cost estimate, measured seconds)`` triple, and
+:meth:`CalibrationRecorder.report` reduces the log to a Spearman rank
+correlation per cost model — "does ranking plans by predicted cost rank
+them by measured time?", exactly the Figure-11 methodology, computed
+from whatever executions actually happened.
+
+Enabling it is explicit (estimating a plan under every model costs a few
+AST walks per execution)::
+
+    from repro import observe
+
+    recorder = observe.calibrate()
+    ...  # run counting workloads through a DecoMine session
+    print(observe.calibrate(False).report().render())
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CalibrationRecord",
+    "CalibrationRecorder",
+    "CalibrationReport",
+    "calibrate",
+    "calibrating",
+    "active_recorder",
+    "record_plan_execution",
+    "spearman",
+]
+
+
+def _ranks(values) -> np.ndarray:
+    """Fractional ranks (ties averaged), the standard Spearman ranking."""
+    xs = np.asarray(values, dtype=float)
+    order = np.argsort(xs, kind="stable")
+    ranks = np.empty(len(xs), dtype=float)
+    i = 0
+    while i < len(xs):
+        j = i
+        while j + 1 < len(xs) and xs[order[j + 1]] == xs[order[i]]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(xs, ys) -> float:
+    """Spearman rank correlation; NaN when undefined (n < 2 or no
+    variance on either side)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) != len(ys):
+        raise ValueError("spearman needs equal-length sequences")
+    if len(xs) < 2:
+        return float("nan")
+    rx, ry = _ranks(xs), _ranks(ys)
+    if rx.std() == 0 or ry.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(rx, ry)[0, 1])
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """One executed plan: what each model predicted, what we measured."""
+
+    pattern: str
+    plan: str
+    selected_model: str
+    seconds: float
+    estimates: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "pattern": self.pattern,
+            "plan": self.plan,
+            "selected_model": self.selected_model,
+            "seconds": self.seconds,
+            "estimates": dict(self.estimates),
+        }
+
+
+@dataclass
+class CalibrationReport:
+    """Per-model prediction quality over one recorder's records."""
+
+    num_records: int
+    spearman: dict[str, float]
+    records: list[CalibrationRecord] = field(default_factory=list)
+
+    def to_dict(self, include_records: bool = True) -> dict:
+        payload = {
+            "num_records": self.num_records,
+            "spearman": {
+                model: (None if np.isnan(rho) else rho)
+                for model, rho in self.spearman.items()
+            },
+        }
+        if include_records:
+            payload["records"] = [r.to_dict() for r in self.records]
+        return payload
+
+    def to_json(self, indent: int | None = 2,
+                include_records: bool = True) -> str:
+        return json.dumps(self.to_dict(include_records), indent=indent,
+                          sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"calibration: {self.num_records} executed plan(s)"]
+        for model in sorted(self.spearman):
+            rho = self.spearman[model]
+            shown = "n/a" if np.isnan(rho) else f"{rho:+.3f}"
+            lines.append(f"  spearman[{model}] = {shown}")
+        return "\n".join(lines)
+
+
+class CalibrationRecorder:
+    """Accumulates (plan, estimates, measured seconds) triples."""
+
+    def __init__(self) -> None:
+        self.records: list[CalibrationRecord] = []
+
+    def record(self, pattern: str, plan: str, seconds: float,
+               estimates: dict[str, float],
+               selected_model: str = "") -> None:
+        self.records.append(CalibrationRecord(
+            pattern=pattern, plan=plan, selected_model=selected_model,
+            seconds=float(seconds),
+            estimates={k: float(v) for k, v in estimates.items()},
+        ))
+
+    def report(self) -> CalibrationReport:
+        models = sorted({m for r in self.records for m in r.estimates})
+        rhos: dict[str, float] = {}
+        for model in models:
+            rows = [r for r in self.records if model in r.estimates]
+            rhos[model] = spearman(
+                [r.estimates[model] for r in rows],
+                [r.seconds for r in rows],
+            )
+        return CalibrationReport(
+            num_records=len(self.records),
+            spearman=rhos,
+            records=list(self.records),
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-local recorder hook (fed by DecoMine sessions when active)
+# ----------------------------------------------------------------------
+
+_RECORDER: CalibrationRecorder | None = None
+
+
+def calibrate(on: bool = True) -> CalibrationRecorder | None:
+    """Install (``on=True``, returns the fresh recorder) or detach
+    (``on=False``, returns the detached recorder) the process recorder."""
+    global _RECORDER
+    if on:
+        _RECORDER = CalibrationRecorder()
+        return _RECORDER
+    recorder, _RECORDER = _RECORDER, None
+    return recorder
+
+
+def calibrating() -> bool:
+    return _RECORDER is not None
+
+
+def active_recorder() -> CalibrationRecorder | None:
+    return _RECORDER
+
+
+def record_plan_execution(plan, profile, seconds: float) -> None:
+    """Log one executed plan under every registered cost model.
+
+    No-op unless a recorder is installed.  Estimates come from
+    re-pricing the plan's optimized AST under each model — the same
+    quantity the search minimized, so report rankings are comparable
+    with compile-time selection.
+    """
+    if _RECORDER is None:
+        return
+    from repro.costmodel import MODELS, estimate_cost
+
+    estimates = {
+        name: float(estimate_cost(plan.root, profile, model_cls()))
+        for name, model_cls in MODELS.items()
+    }
+    _RECORDER.record(
+        pattern=plan.pattern.name or repr(plan.pattern),
+        plan=plan.spec.describe(),
+        seconds=seconds,
+        estimates=estimates,
+        selected_model=plan.model_name,
+    )

@@ -12,7 +12,9 @@ from repro.runtime import setops
 from repro.runtime.setops import BufferPool, KernelStats, SetOpCache
 
 __all__ = [
+    "EngineOptions",
     "ExecutionContext",
+    "ExecutionMetrics",
     "ExecutionResult",
     "chunk_ranges",
     "execute_plan",
@@ -35,7 +37,9 @@ __all__ = [
 ]
 
 _LAZY = {
+    "EngineOptions": "repro.runtime.engine",
     "ExecutionContext": "repro.runtime.context",
+    "ExecutionMetrics": "repro.runtime.engine",
     "ExecutionResult": "repro.runtime.engine",
     "chunk_ranges": "repro.runtime.engine",
     "execute_plan": "repro.runtime.engine",

@@ -10,15 +10,25 @@ is correct because all accumulator updates are associative/commutative.
 Each chunk runs with its own :class:`ExecutionContext`, hence its own
 set-op memo cache; kernel dispatch counts (from
 :data:`repro.runtime.setops.STATS`) and the cache counters are collected
-per chunk and merged into ``ExecutionResult.kernel_stats``, which is how
-the benchmark reports surface kernel behaviour.
+per chunk and merged into ``ExecutionResult.metrics``, which is how the
+benchmark reports surface kernel behaviour.  The same per-run deltas are
+published into the :mod:`repro.observe` metrics registry, and — when
+tracing is enabled — every chunk runs under a ``"chunk"`` span (worker
+spans travel back through the per-chunk result channel).
+
+Execution knobs are bundled in :class:`EngineOptions`; supervision knobs
+(budget, checkpoint, supervision toggle) in
+:class:`~repro.runtime.supervisor.RunPolicy`.  The pre-redesign kwargs
+(``workers=``/``chunks_per_worker=``/``executor=`` and
+``checkpoint=``/``supervised=``) still work for one release via a shim
+that emits :class:`DeprecationWarning`.
 
 Parallel runs are *supervised* by default: chunk dispatch goes through
 :class:`repro.runtime.supervisor.Supervisor`, which retries chunks lost
 to worker crashes or exceptions, honors ``RunBudget`` deadlines, and
 (opt-in) checkpoints completed chunks for resume.  ``supervised=False``
-selects the raw ``imap_unordered`` fast path with no recovery — the
-baseline the supervisor's overhead is benchmarked against.
+(via ``RunPolicy``) selects the raw ``imap_unordered`` fast path with no
+recovery — the baseline the supervisor's overhead is benchmarked against.
 
 On a single-core host multiprocessing adds no wall-clock speedup; the
 scalability benchmark therefore also reports the measured per-chunk work
@@ -30,40 +40,161 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, replace
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.compiler.build import COUNT_ACC
 from repro.compiler.interpreter import run_interpreter
 from repro.compiler.pipeline import CompiledPlan
 from repro.exceptions import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
+from repro.observe.trace import (
+    begin_worker_trace,
+    graft_worker_spans,
+    span,
+    take_worker_spans,
+)
 from repro.runtime import setops
 from repro.runtime.context import ExecutionContext
 
-__all__ = ["ExecutionResult", "execute_plan", "chunk_ranges"]
+__all__ = [
+    "EngineOptions",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "execute_plan",
+    "chunk_ranges",
+]
 
 
-@dataclass
-class ExecutionResult:
-    """Outcome of a plan execution.
+@dataclass(frozen=True)
+class EngineOptions:
+    """How to execute a plan (everything except *what* and *on what*).
 
-    ``failures``/``retries``/``resumed_chunks``/``pool_restarts`` are the
-    supervisor's record: structured :class:`ChunkFailure` entries for
-    chunks that exhausted recovery, how many chunk re-dispatches
-    happened, how many chunks were restored from a checkpoint instead of
-    executed, and how many times the worker pool had to be rebuilt.  All
-    zero/empty on unsupervised runs.
+    Parameters
+    ----------
+    workers:
+        Fork-pool workers (1 = in-process serial).
+    chunks_per_worker:
+        Static chunking granularity: the outer loop is cut into
+        ``workers * chunks_per_worker`` ranges drained dynamically.
+    executor:
+        ``"codegen"`` (default) or ``"interpreter"``.
+    cache:
+        Per-chunk set-op memo cache policy, as accepted by
+        :class:`~repro.runtime.context.ExecutionContext`: ``True``
+        (default capacity), an ``int`` capacity, or ``False`` to disable.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` injected into
+        every chunk context (deterministic fault-injection harness).
     """
 
-    accumulators: dict[str, int]
-    seconds: float
-    divisor: int
-    chunk_seconds: list[float] = field(default_factory=list)
-    kernel_stats: dict[str, int] = field(default_factory=dict)
-    failures: list = field(default_factory=list)
+    workers: int = 1
+    chunks_per_worker: int = 4
+    executor: str = "codegen"
+    cache: bool | int = True
+    faults: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        if self.chunks_per_worker < 1:
+            raise ExecutionError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        if self.executor not in ("codegen", "interpreter"):
+            raise ExecutionError(f"unknown executor {self.executor!r}")
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """Typed read-only telemetry view of one execution.
+
+    Consolidates what PR 1 (kernel/cache counters) and PR 3 (supervisor
+    counters) used to scatter across ``ExecutionResult`` attributes; the
+    same values are published as per-run deltas into
+    :data:`repro.observe.REGISTRY`.
+    """
+
+    kernel_stats: Mapping[str, int]
     retries: int = 0
     resumed_chunks: int = 0
     pool_restarts: int = 0
+    failures: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Set-op memo cache hit rate over this execution (0.0 if off)."""
+        hits = self.kernel_stats.get("cache_hits", 0)
+        lookups = hits + self.kernel_stats.get("cache_misses", 0)
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def kernel_calls(self) -> int:
+        """Total set-op kernel invocations during this execution."""
+        return sum(
+            self.kernel_stats.get(name, 0) for name in setops.KernelStats.FIELDS
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-ready)."""
+        return {
+            "kernel_stats": dict(self.kernel_stats),
+            "kernel_calls": self.kernel_calls,
+            "cache_hit_rate": self.cache_hit_rate,
+            "retries": self.retries,
+            "resumed_chunks": self.resumed_chunks,
+            "pool_restarts": self.pool_restarts,
+            "failures": self.failures,
+        }
+
+
+def _warn_result_alias(old: str, new: str) -> None:
+    warnings.warn(
+        f"ExecutionResult.{old} is deprecated; use ExecutionResult.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ExecutionResult:
+    """Outcome of a plan execution.
+
+    ``accumulators``/``seconds``/``divisor``/``chunk_seconds`` are the
+    result proper; ``failures`` holds structured :class:`ChunkFailure`
+    entries for chunks that exhausted recovery (empty on clean runs);
+    all remaining telemetry lives on ``metrics``
+    (an :class:`ExecutionMetrics` read-only view).  The pre-redesign
+    telemetry attributes (``kernel_stats``, ``cache_hit_rate``,
+    ``kernel_calls``, ``retries``, ``resumed_chunks``,
+    ``pool_restarts``) remain as deprecated aliases.
+    """
+
+    def __init__(
+        self,
+        accumulators: dict[str, int],
+        seconds: float,
+        divisor: int,
+        chunk_seconds: list[float] | None = None,
+        kernel_stats: dict[str, int] | None = None,
+        failures: list | None = None,
+        retries: int = 0,
+        resumed_chunks: int = 0,
+        pool_restarts: int = 0,
+    ) -> None:
+        self.accumulators = accumulators
+        self.seconds = seconds
+        self.divisor = divisor
+        self.chunk_seconds = list(chunk_seconds) if chunk_seconds else []
+        self.failures = list(failures) if failures else []
+        self.metrics = ExecutionMetrics(
+            kernel_stats=MappingProxyType(dict(kernel_stats or {})),
+            retries=retries,
+            resumed_chunks=resumed_chunks,
+            pool_restarts=pool_restarts,
+            failures=len(self.failures),
+        )
 
     @property
     def ok(self) -> bool:
@@ -103,19 +234,73 @@ class ExecutionResult:
             return 1.0
         return (sum(self.chunk_seconds) / len(self.chunk_seconds)) / peak
 
+    def __repr__(self) -> str:
+        m = self.metrics
+        supervision = ""
+        if m.retries or m.resumed_chunks or m.pool_restarts or self.failures:
+            supervision = (
+                f", retries={m.retries}, failures={len(self.failures)}, "
+                f"resumed_chunks={m.resumed_chunks}, "
+                f"pool_restarts={m.pool_restarts}"
+            )
+        return (
+            f"ExecutionResult(raw_count={self.raw_count}, ok={self.ok}, "
+            f"seconds={self.seconds:.4f}, chunks={len(self.chunk_seconds)}"
+            f"{supervision})"
+        )
+
+    def describe(self) -> str:
+        """Human-readable run summary, self-explanatory even on failure."""
+        m = self.metrics
+        lines = [
+            f"{'ok' if self.ok else 'INCOMPLETE'}: raw count "
+            f"{self.raw_count:,} / divisor {self.divisor} in "
+            f"{self.seconds:.3f}s over {len(self.chunk_seconds)} chunk(s) "
+            f"(balance {self.work_balance():.2f})",
+            f"supervision: {m.retries} retries, {len(self.failures)} "
+            f"failed chunk(s), {m.resumed_chunks} resumed from checkpoint, "
+            f"{m.pool_restarts} pool restarts",
+            f"kernels: {m.kernel_calls:,} set-op calls, cache hit rate "
+            f"{m.cache_hit_rate:.1%}",
+        ]
+        for failure in self.failures[:5]:
+            lines.append(f"  {failure.describe()}")
+        if len(self.failures) > 5:
+            lines.append(f"  ... +{len(self.failures) - 5} more")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Deprecated telemetry aliases (one release; use ``.metrics``)
+    # ------------------------------------------------------------------
+    @property
+    def kernel_stats(self) -> Mapping[str, int]:
+        _warn_result_alias("kernel_stats", "metrics.kernel_stats")
+        return self.metrics.kernel_stats
+
     @property
     def cache_hit_rate(self) -> float:
-        """Set-op memo cache hit rate over this execution (0.0 if off)."""
-        hits = self.kernel_stats.get("cache_hits", 0)
-        lookups = hits + self.kernel_stats.get("cache_misses", 0)
-        return hits / lookups if lookups else 0.0
+        _warn_result_alias("cache_hit_rate", "metrics.cache_hit_rate")
+        return self.metrics.cache_hit_rate
 
     @property
     def kernel_calls(self) -> int:
-        """Total set-op kernel invocations during this execution."""
-        return sum(
-            self.kernel_stats.get(name, 0) for name in setops.KernelStats.FIELDS
-        )
+        _warn_result_alias("kernel_calls", "metrics.kernel_calls")
+        return self.metrics.kernel_calls
+
+    @property
+    def retries(self) -> int:
+        _warn_result_alias("retries", "metrics.retries")
+        return self.metrics.retries
+
+    @property
+    def resumed_chunks(self) -> int:
+        _warn_result_alias("resumed_chunks", "metrics.resumed_chunks")
+        return self.metrics.resumed_chunks
+
+    @property
+    def pool_restarts(self) -> int:
+        _warn_result_alias("pool_restarts", "metrics.pool_restarts")
+        return self.metrics.pool_restarts
 
 
 def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
@@ -134,50 +319,157 @@ def _merge_stats(into: dict[str, int], part: dict[str, int]) -> None:
         into[key] = into.get(key, 0) + value
 
 
+def _resolve_options(options, workers, chunks_per_worker, executor,
+                     cache, faults) -> EngineOptions:
+    legacy = {
+        key: value
+        for key, value in (
+            ("workers", workers),
+            ("chunks_per_worker", chunks_per_worker),
+            ("executor", executor),
+            ("cache", cache),
+            ("faults", faults),
+        )
+        if value is not None
+    }
+    if legacy:
+        warnings.warn(
+            "passing "
+            + "/".join(f"{k}=" for k in legacy)
+            + " to execute_plan is deprecated; bundle them in "
+            "EngineOptions(...) via the `options` argument",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(options or EngineOptions(), **legacy)
+    return options if options is not None else EngineOptions()
+
+
+def _resolve_policy(policy, checkpoint, supervised):
+    """Normalize (RunPolicy | RunBudget | None, legacy kwargs) into the
+    (budget, checkpoint, supervised) triple the engine works with."""
+    from repro.runtime.supervisor import CheckpointStore, RunBudget, RunPolicy
+
+    budget = policy_checkpoint = policy_supervised = None
+    if isinstance(policy, RunBudget):
+        budget = policy
+    elif isinstance(policy, RunPolicy):
+        budget = policy.budget
+        policy_checkpoint = policy.checkpoint
+        policy_supervised = policy.supervised
+    elif policy is not None:
+        raise ExecutionError(
+            f"policy must be a RunPolicy or RunBudget, got {policy!r}"
+        )
+    if checkpoint is not None or supervised is not None:
+        warnings.warn(
+            "passing checkpoint=/supervised= to execute_plan is "
+            "deprecated; fold them into a RunPolicy via the `policy` "
+            "argument",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if checkpoint is None:
+        checkpoint = policy_checkpoint
+    if supervised is None:
+        supervised = policy_supervised
+    if checkpoint is not None and not hasattr(checkpoint, "record"):
+        checkpoint = CheckpointStore(checkpoint)
+    return budget, checkpoint, supervised
+
+
+def _publish_metrics(stats: dict[str, int], chunk_seconds: list[float],
+                     retries: int, resumed_chunks: int, pool_restarts: int,
+                     num_failures: int) -> None:
+    """Fold one execution's telemetry delta into the global registry.
+
+    Batched per run (not per kernel call), so the cost is a handful of
+    dictionary operations regardless of workload size.
+    """
+    from repro.observe import metrics as om
+
+    om.counter(
+        "repro_executions_total", "plan executions (aux plans counted)"
+    ).inc()
+    for key, value in stats.items():
+        if not value:
+            continue
+        if key.startswith("cache_"):
+            name = f"repro_setop_cache_{key[6:]}_total"
+        else:
+            name = f"repro_setops_{key}_total"
+        om.counter(name, "set-op kernel telemetry (per-run delta)").inc(value)
+    if retries:
+        om.counter("repro_chunk_retries_total",
+                   "chunk re-dispatches by the supervisor").inc(retries)
+    if resumed_chunks:
+        om.counter("repro_checkpoint_resumed_chunks_total",
+                   "chunks replayed from a checkpoint").inc(resumed_chunks)
+    if pool_restarts:
+        om.counter("repro_pool_restarts_total",
+                   "worker pool rebuilds").inc(pool_restarts)
+    if num_failures:
+        om.counter("repro_chunk_failures_total",
+                   "chunks that exhausted recovery").inc(num_failures)
+    chunk_hist = om.histogram("repro_chunk_seconds", "per-chunk wall time")
+    for seconds in chunk_seconds:
+        chunk_hist.observe(seconds)
+
+
 def execute_plan(
     plan: CompiledPlan,
     graph: CSRGraph,
     ctx: ExecutionContext | None = None,
-    workers: int = 1,
-    chunks_per_worker: int = 4,
-    executor: str = "codegen",
+    options: EngineOptions | None = None,
     policy=None,
+    *,
+    workers: int | None = None,
+    chunks_per_worker: int | None = None,
+    executor: str | None = None,
+    cache=None,
+    faults=None,
     checkpoint=None,
     supervised: bool | None = None,
 ) -> ExecutionResult:
     """Execute a compiled plan.
 
-    ``executor`` is ``"codegen"`` (default) or ``"interpreter"``.
-    With ``workers > 1`` the outer loop is chunked across a fork-based
-    process pool; emit-mode plans (UDF callbacks hold user state) run
-    single-process.
+    ``options`` (an :class:`EngineOptions`) bundles the execution knobs:
+    worker count, chunking, executor choice, set-op cache policy, fault
+    plan.  With ``options.workers > 1`` the outer loop is chunked across
+    a fork-based process pool; emit-mode plans (UDF callbacks hold user
+    state) run single-process.
 
-    ``policy`` (a :class:`~repro.runtime.supervisor.RunBudget`) sets
-    retry caps, backoff, per-chunk timeouts, and the whole-run deadline;
-    ``checkpoint`` (a :class:`~repro.runtime.supervisor.CheckpointStore`
-    or path) makes completed chunks durable so a killed run resumes by
-    skipping them.  ``supervised`` defaults to supervision whenever it
-    can matter — parallel runs, or any run with a policy, checkpoint, or
-    fault plan on the context; ``supervised=False`` forces the raw
-    unrecoverable fast path.
+    ``policy`` (a :class:`~repro.runtime.supervisor.RunPolicy`, or a
+    bare :class:`~repro.runtime.supervisor.RunBudget` for just the
+    retry/deadline knobs) bundles supervision: retry caps, backoff,
+    per-chunk timeouts, the whole-run deadline, the checkpoint store for
+    killed-run resume, and the supervision toggle.  Supervision defaults
+    to on whenever it can matter — parallel runs, or any run with a
+    budget, checkpoint, or fault plan; ``RunPolicy(supervised=False)``
+    forces the raw unrecoverable fast path.
+
+    The keyword spellings predating :class:`EngineOptions` and the
+    ``RunPolicy`` fold (``workers=``, ``chunks_per_worker=``,
+    ``executor=``, ``checkpoint=``, ``supervised=``) keep working for
+    one release and emit :class:`DeprecationWarning`.
     """
-    if workers < 1:
-        raise ExecutionError(f"workers must be >= 1, got {workers}")
-    if chunks_per_worker < 1:
-        raise ExecutionError(
-            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
-        )
-    if executor not in ("codegen", "interpreter"):
-        raise ExecutionError(f"unknown executor {executor!r}")
+    options = _resolve_options(options, workers, chunks_per_worker, executor,
+                               cache, faults)
+    policy_budget, checkpoint, supervised = _resolve_policy(
+        policy, checkpoint, supervised
+    )
     if ctx is None:
-        ctx = ExecutionContext(plan.root.num_tables)
-    if workers > 1 and plan.mode == "emit":
+        ctx = ExecutionContext(plan.root.num_tables, cache=options.cache,
+                               faults=options.faults)
+    if options.workers > 1 and plan.mode == "emit":
         raise ExecutionError(
             "emit-mode plans run single-process: user UDF state cannot be "
             "merged across workers; aggregate via counting accumulators "
             "instead"
         )
-    if plan.mode == "emit" and (policy is not None or checkpoint is not None):
+    if plan.mode == "emit" and (
+        policy_budget is not None or checkpoint is not None
+    ):
         raise ExecutionError(
             "supervised execution re-runs chunks and would re-deliver "
             "partial embeddings to the UDF; emit-mode plans run "
@@ -185,86 +477,118 @@ def execute_plan(
         )
     if supervised is None:
         supervised = (
-            workers > 1
-            or policy is not None
+            options.workers > 1
+            or policy_budget is not None
             or checkpoint is not None
             or ctx.faults is not None
         ) and plan.mode != "emit"
 
-    if checkpoint is not None and not hasattr(checkpoint, "record"):
-        from repro.runtime.supervisor import CheckpointStore
-
-        checkpoint = CheckpointStore(checkpoint)
-
     deadline_at = None
-    if policy is not None and policy.deadline_s is not None:
-        deadline_at = time.monotonic() + policy.deadline_s
+    if policy_budget is not None and policy_budget.deadline_s is not None:
+        deadline_at = time.monotonic() + policy_budget.deadline_s
 
-    started = time.perf_counter()
-    kernel_before = setops.STATS.snapshot()
-    cache_before = ctx.cache_counters()
-    retries = resumed_chunks = pool_restarts = 0
-    failures: list = []
-    if supervised:
-        from repro.runtime.supervisor import Supervisor
+    run_span = span(
+        "execute", pattern=plan.pattern.name or repr(plan.pattern),
+        mode=plan.mode, workers=options.workers, executor=options.executor,
+        supervised=bool(supervised),
+    )
+    with run_span:
+        started = time.perf_counter()
+        kernel_before = setops.STATS.snapshot()
+        cache_before = ctx.cache_counters()
+        retries = resumed_chunks = pool_restarts = 0
+        failures: list = []
+        if supervised:
+            from repro.runtime.supervisor import Supervisor
 
-        ranges = chunk_ranges(graph.num_vertices, workers * chunks_per_worker)
-        outcome = Supervisor(
-            plan, graph, ctx, ranges, workers, executor,
-            budget=policy, checkpoint=checkpoint, deadline_at=deadline_at,
-        ).run()
-        accumulators = outcome.accumulators
-        chunk_seconds = outcome.chunk_seconds
-        stats = outcome.stats
-        retries = outcome.retries
-        failures = list(outcome.failures)
-        resumed_chunks = outcome.resumed_chunks
-        pool_restarts = outcome.pool_restarts
-        _merge_stats(stats, setops.STATS.delta(kernel_before))
-    elif workers <= 1:
-        accumulators = _run_range(plan, graph, ctx, None, None, executor)
-        chunk_seconds = [time.perf_counter() - started]
-        stats = setops.STATS.delta(kernel_before)
-    else:
-        ranges = chunk_ranges(graph.num_vertices, workers * chunks_per_worker)
-        accumulators, chunk_seconds, stats = _run_parallel(
-            plan, graph, ctx, ranges, workers, executor
-        )
-        _merge_stats(stats, setops.STATS.delta(kernel_before))
-    for key, value in ctx.cache_counters().items():
-        stats[key] = stats.get(key, 0) + value - cache_before.get(key, 0)
-    # Globally-counted shrinkage corrections (see CompiledPlan.aux_plans):
-    # each quotient pattern's injective count is subtracted once, instead
-    # of re-enumerating quotient extensions per cutting-set match.  Aux
-    # plans share the checkpoint store (under their own fingerprints) and
-    # inherit whatever remains of the whole-run deadline, so resume and
-    # deadline semantics are exact for decomposed counts.
-    for aux_plan, multiplier in plan.aux_plans:
-        aux_policy = policy
-        if deadline_at is not None:
-            aux_policy = replace(
-                policy, deadline_s=max(0.0, deadline_at - time.monotonic())
+            ranges = chunk_ranges(
+                graph.num_vertices,
+                options.workers * options.chunks_per_worker,
             )
-        aux_result = execute_plan(
-            aux_plan, graph, workers=workers,
-            chunks_per_worker=chunks_per_worker, executor=executor,
-            policy=aux_policy, checkpoint=checkpoint, supervised=supervised,
-        )
-        accumulators[COUNT_ACC] = (
-            accumulators.get(COUNT_ACC, 0)
-            - multiplier * aux_result.raw_count
-        )
-        _merge_stats(stats, aux_result.kernel_stats)
-        retries += aux_result.retries
-        failures.extend(aux_result.failures)
-        resumed_chunks += aux_result.resumed_chunks
-        pool_restarts += aux_result.pool_restarts
-    elapsed = time.perf_counter() - started
+            outcome = Supervisor(
+                plan, graph, ctx, ranges, options.workers, options.executor,
+                budget=policy_budget, checkpoint=checkpoint,
+                deadline_at=deadline_at, cache=options.cache,
+            ).run()
+            accumulators = outcome.accumulators
+            chunk_seconds = outcome.chunk_seconds
+            stats = outcome.stats
+            retries = outcome.retries
+            failures = list(outcome.failures)
+            resumed_chunks = outcome.resumed_chunks
+            pool_restarts = outcome.pool_restarts
+            _merge_stats(stats, setops.STATS.delta(kernel_before))
+        elif options.workers <= 1:
+            with span("chunk", index=0) as chunk_span:
+                accumulators = _run_range(plan, graph, ctx, None, None,
+                                          options.executor)
+            # When tracing, the span's clock is the measurement — a
+            # second perf_counter pair could disagree with it (GC pause
+            # between the two reads) and break trace/result accounting.
+            chunk_seconds = [chunk_span.duration
+                             or (time.perf_counter() - started)]
+            stats = setops.STATS.delta(kernel_before)
+        else:
+            ranges = chunk_ranges(
+                graph.num_vertices,
+                options.workers * options.chunks_per_worker,
+            )
+            accumulators, chunk_seconds, stats = _run_parallel(
+                plan, graph, ctx, ranges, options
+            )
+            _merge_stats(stats, setops.STATS.delta(kernel_before))
+        for key, value in ctx.cache_counters().items():
+            stats[key] = stats.get(key, 0) + value - cache_before.get(key, 0)
+        # This execution's own telemetry goes to the registry before the
+        # aux-plan corrections below: each aux execution recurses through
+        # execute_plan and publishes its own delta.
+        _publish_metrics(stats, chunk_seconds, retries, resumed_chunks,
+                         pool_restarts, len(failures))
+        # Globally-counted shrinkage corrections (see
+        # CompiledPlan.aux_plans): each quotient pattern's injective count
+        # is subtracted once, instead of re-enumerating quotient
+        # extensions per cutting-set match.  Aux plans share the
+        # checkpoint store (under their own fingerprints) and inherit
+        # whatever remains of the whole-run deadline, so resume and
+        # deadline semantics are exact for decomposed counts.
+        for aux_plan, multiplier in plan.aux_plans:
+            aux_budget = policy_budget
+            if deadline_at is not None:
+                aux_budget = replace(
+                    policy_budget,
+                    deadline_s=max(0.0, deadline_at - time.monotonic()),
+                )
+            aux_policy = _make_policy(aux_budget, checkpoint, supervised)
+            aux_result = execute_plan(
+                aux_plan, graph, options=options, policy=aux_policy,
+            )
+            accumulators[COUNT_ACC] = (
+                accumulators.get(COUNT_ACC, 0)
+                - multiplier * aux_result.raw_count
+            )
+            _merge_stats(stats, aux_result.metrics.kernel_stats)
+            retries += aux_result.metrics.retries
+            failures.extend(aux_result.failures)
+            resumed_chunks += aux_result.metrics.resumed_chunks
+            pool_restarts += aux_result.metrics.pool_restarts
+        elapsed = time.perf_counter() - started
+
+    from repro.observe import metrics as om
+
+    om.histogram("repro_execution_seconds",
+                 "whole-execution wall time").observe(elapsed)
     return ExecutionResult(
         accumulators, elapsed, plan.info.divisor, chunk_seconds, stats,
         failures=failures, retries=retries, resumed_chunks=resumed_chunks,
         pool_restarts=pool_restarts,
     )
+
+
+def _make_policy(budget, checkpoint, supervised):
+    from repro.runtime.supervisor import RunPolicy
+
+    return RunPolicy(budget=budget, checkpoint=checkpoint,
+                     supervised=supervised)
 
 
 def _run_range(plan, graph, ctx, start, stop, executor) -> dict[str, int]:
@@ -317,17 +641,28 @@ def _chunk_worker(task: tuple[int, int, int, int]):
     executor = state["executor"]
     ctx = ExecutionContext(plan.root.num_tables,
                            predicates=state["predicates"],
+                           cache=state.get("cache", True),
                            faults=state.get("faults"))
+    # A forked worker inherits the parent's tracing flag; its spans are
+    # recorded into a fresh per-chunk trace and shipped back through the
+    # result tuple (the parent grafts them into the live trace).
+    worker_trace = begin_worker_trace(f"chunk-{index}")
     chunk_started = time.perf_counter()
     kernel_before = setops.STATS.snapshot()
-    ctx.fire_faults(index, attempt)
-    accumulators = _run_range(plan, graph, ctx, start, stop, executor)
+    with span("chunk", index=index, attempt=attempt,
+              worker_pid=os.getpid()) as chunk_span:
+        ctx.fire_faults(index, attempt)
+        accumulators = _run_range(plan, graph, ctx, start, stop, executor)
+    # One clock: under tracing the chunk's reported seconds ARE the span
+    # window, so the parent's chunk-coverage accounting is exact.
+    elapsed = chunk_span.duration or (time.perf_counter() - chunk_started)
     stats = setops.STATS.delta(kernel_before)
     _merge_stats(stats, ctx.cache_counters())
-    return index, attempt, accumulators, time.perf_counter() - chunk_started, stats
+    return (index, attempt, accumulators, elapsed, stats,
+            take_worker_spans(worker_trace))
 
 
-def _run_parallel(plan, graph, ctx, ranges, workers, executor):
+def _run_parallel(plan, graph, ctx, ranges, options: EngineOptions):
     import multiprocessing as mp
 
     stats: dict[str, int] = {}
@@ -336,25 +671,30 @@ def _run_parallel(plan, graph, ctx, ranges, workers, executor):
     if not hasattr(os, "fork"):  # non-POSIX fallback
         merged: dict[str, int] = {}
         seconds = []
-        for start, stop in ranges:
+        for index, (start, stop) in enumerate(ranges):
             chunk_started = time.perf_counter()
             chunk_ctx = ExecutionContext(plan.root.num_tables,
-                                         predicates=list(ctx.predicates))
-            partial = _run_range(plan, graph, chunk_ctx, start, stop, executor)
-            seconds.append(time.perf_counter() - chunk_started)
+                                         predicates=list(ctx.predicates),
+                                         cache=options.cache)
+            with span("chunk", index=index) as chunk_span:
+                partial = _run_range(plan, graph, chunk_ctx, start, stop,
+                                     options.executor)
+            seconds.append(chunk_span.duration
+                           or (time.perf_counter() - chunk_started))
             _merge_stats(stats, chunk_ctx.cache_counters())
             for key, value in partial.items():
                 merged[key] = merged.get(key, 0) + value
         return merged, seconds, stats
 
     state = {
-        "plan": plan, "graph": graph, "executor": executor,
+        "plan": plan, "graph": graph, "executor": options.executor,
         "predicates": list(ctx.predicates), "faults": ctx.faults,
+        "cache": options.cache,
     }
     token = _register_fork_state(state)
     try:
         context = mp.get_context("fork")
-        with context.Pool(processes=workers,
+        with context.Pool(processes=options.workers,
                           initializer=_set_worker_token,
                           initargs=(token,)) as pool:
             merged = {}
@@ -362,11 +702,11 @@ def _run_parallel(plan, graph, ctx, ranges, workers, executor):
             # imap_unordered drains the shared chunk queue dynamically:
             # an idle worker immediately picks up unstarted chunks, the
             # work-stealing behaviour of the paper's runtime.
-            for _, _, partial, chunk_time, chunk_stats in pool.imap_unordered(
-                _chunk_worker, tasks
-            ):
+            for (_, _, partial, chunk_time, chunk_stats,
+                 chunk_spans) in pool.imap_unordered(_chunk_worker, tasks):
                 seconds.append(chunk_time)
                 _merge_stats(stats, chunk_stats)
+                graft_worker_spans(chunk_spans)
                 for key, value in partial.items():
                     merged[key] = merged.get(key, 0) + value
         return merged, seconds, stats

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.exceptions import ExecutionError
+from repro.observe.trace import graft_worker_spans, span
 from repro.runtime.context import ExecutionContext
 
 __all__ = [
@@ -303,11 +304,13 @@ class Supervisor:
         budget: RunBudget | None = None,
         checkpoint: CheckpointStore | None = None,
         deadline_at: float | None = None,
+        cache: bool | int = True,
     ) -> None:
         self.plan = plan
         self.graph = graph
         self.predicates = list(ctx.predicates)
         self.faults = ctx.faults
+        self.cache = cache
         self.bounds = dict(enumerate(ranges))
         self.workers = workers
         self.executor = executor
@@ -343,10 +346,11 @@ class Supervisor:
         return (now if now is not None else time.monotonic()) >= self.deadline_at
 
     def _record_success(self, index, attempt, accumulators, seconds, stats,
-                        from_checkpoint: bool = False) -> None:
+                        spans=(), from_checkpoint: bool = False) -> None:
         if index in self.done:  # late duplicate after a pool restart
             return
         self.done.add(index)
+        graft_worker_spans(list(spans))
         self.attempts[index] = max(self.attempts[index], attempt)
         for key, value in accumulators.items():
             self.out.accumulators[key] = (
@@ -430,6 +434,7 @@ class Supervisor:
             "executor": self.executor,
             "predicates": self.predicates,
             "faults": self.faults,
+            "cache": self.cache,
         }
         token = engine._register_fork_state(state)
         try:
@@ -560,15 +565,19 @@ class Supervisor:
                     self.plan.root.num_tables,
                     predicates=self.predicates,
                     faults=self.faults,
+                    cache=self.cache,
                 )
                 started = time.perf_counter()
                 try:
-                    chunk_ctx.fire_faults(index, attempt, allow_exit=False)
-                    accumulators = _run_range(
-                        self.plan, self.graph, chunk_ctx,
-                        self.bounds[index][0], self.bounds[index][1],
-                        self.executor,
-                    )
+                    with span("chunk", index=index,
+                              attempt=attempt) as chunk_span:
+                        chunk_ctx.fire_faults(index, attempt,
+                                              allow_exit=False)
+                        accumulators = _run_range(
+                            self.plan, self.graph, chunk_ctx,
+                            self.bounds[index][0], self.bounds[index][1],
+                            self.executor,
+                        )
                 except Exception as exc:
                     if not self._record_failure(index, attempt, "exception",
                                                 exc):
@@ -587,8 +596,11 @@ class Supervisor:
                 # here to avoid double counting.
                 stats: dict[str, int] = {}
                 _merge_stats(stats, chunk_ctx.cache_counters())
+                # Under tracing the span window is the measurement (one
+                # clock, so trace and chunk_seconds cannot disagree).
                 self._record_success(
                     index, attempt, accumulators,
-                    time.perf_counter() - started, stats,
+                    chunk_span.duration or (time.perf_counter() - started),
+                    stats,
                 )
                 break

@@ -1,0 +1,175 @@
+"""The options redesign keeps every pre-redesign spelling alive for one
+release behind :class:`DeprecationWarning` shims.  These tests pin both
+halves of that contract: the old spellings *warn*, and they still
+*work* — routed onto :class:`EngineOptions` / :class:`RunPolicy` /
+``ExecutionResult.metrics`` with unchanged behavior.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api.session import DecoMine
+from repro.baselines import reference
+from repro.compiler.pipeline import compile_pattern
+from repro.costmodel import profile_graph
+from repro.exceptions import ExecutionError
+from repro.graph.generators import erdos_renyi
+from repro.patterns import catalog
+from repro.runtime.engine import (
+    EngineOptions,
+    ExecutionResult,
+    execute_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    graph = erdos_renyi(16, 0.35, seed=3)
+    profile = profile_graph(graph, max_pattern_size=3, trials=60)
+    plan = compile_pattern(catalog.house(), profile)
+    expected = reference.count_embeddings(graph, catalog.house())
+    return graph, plan, expected
+
+
+class TestEngineOptionsValidation:
+    @pytest.mark.parametrize("kwargs, fragment", [
+        ({"workers": 0}, "workers must be >= 1, got 0"),
+        ({"workers": -2}, "workers must be >= 1, got -2"),
+        ({"chunks_per_worker": 0}, "chunks_per_worker must be >= 1, got 0"),
+        ({"executor": "llvm"}, "unknown executor 'llvm'"),
+    ])
+    def test_invalid_options_raise(self, kwargs, fragment):
+        with pytest.raises(ExecutionError, match=fragment):
+            EngineOptions(**kwargs)
+
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.workers == 1
+        assert options.chunks_per_worker == 4
+        assert options.executor == "codegen"
+        assert options.cache is True
+        assert options.faults is None
+
+
+class TestExecutePlanLegacyKwargs:
+    def test_workers_kwarg_warns_and_routes(self, case):
+        graph, plan, expected = case
+        with pytest.warns(DeprecationWarning,
+                          match="workers=.*deprecated.*EngineOptions"):
+            result = execute_plan(plan, graph, workers=2,
+                                  chunks_per_worker=3)
+        assert result.embedding_count == expected
+        # Routed: 2 workers x 3 chunks_per_worker chunks were produced.
+        assert len(result.chunk_seconds) == 6
+
+    def test_executor_kwarg_warns_and_routes(self, case):
+        graph, plan, expected = case
+        with pytest.warns(DeprecationWarning, match="executor="):
+            result = execute_plan(plan, graph, executor="interpreter")
+        assert result.embedding_count == expected
+
+    def test_invalid_legacy_values_still_validate(self, case):
+        graph, plan, _ = case
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ExecutionError,
+                               match="workers must be >= 1"):
+                execute_plan(plan, graph, workers=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ExecutionError, match="unknown executor"):
+                execute_plan(plan, graph, executor="gpu")
+
+    def test_legacy_kwargs_override_options_bundle(self, case):
+        graph, plan, expected = case
+        with pytest.warns(DeprecationWarning):
+            result = execute_plan(
+                plan, graph, options=EngineOptions(workers=2,
+                                                   chunks_per_worker=2),
+                chunks_per_worker=4,
+            )
+        assert result.embedding_count == expected
+        assert len(result.chunk_seconds) == 8  # 2 workers x overridden 4
+
+    def test_checkpoint_kwarg_warns_and_routes(self, case, tmp_path):
+        graph, plan, expected = case
+        path = str(tmp_path / "legacy.jsonl")
+        with pytest.warns(DeprecationWarning,
+                          match="checkpoint=/supervised=.*RunPolicy"):
+            result = execute_plan(plan, graph, checkpoint=path)
+        assert result.embedding_count == expected
+        assert Path(path).exists()  # checkpoint really was written
+
+    def test_supervised_kwarg_warns_and_routes(self, case):
+        graph, plan, expected = case
+        with pytest.warns(DeprecationWarning,
+                          match="checkpoint=/supervised="):
+            result = execute_plan(plan, graph, supervised=True)
+        assert result.embedding_count == expected
+
+    def test_new_spellings_do_not_warn(self, case):
+        graph, plan, expected = case
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = execute_plan(
+                plan, graph, options=EngineOptions(workers=2),
+            )
+        assert result.embedding_count == expected
+
+
+class TestSessionLegacyKwargs:
+    def test_workers_and_executor_warn_and_route(self, case):
+        graph, _, expected = case
+        with pytest.warns(DeprecationWarning,
+                          match="DecoMine.*deprecated.*EngineOptions"):
+            session = DecoMine(graph, workers=2, executor="interpreter")
+        assert session.engine_options.workers == 2
+        assert session.engine_options.executor == "interpreter"
+        assert session.get_pattern_count(catalog.house()) == expected
+
+    def test_deprecated_attribute_spellings(self, case):
+        graph, _, _ = case
+        session = DecoMine(graph, engine=EngineOptions(workers=3))
+        with pytest.warns(DeprecationWarning, match="DecoMine.workers"):
+            assert session.workers == 3
+        with pytest.warns(DeprecationWarning, match="DecoMine.executor"):
+            assert session.executor == "codegen"
+
+    def test_engine_bundle_does_not_warn(self, case):
+        graph, _, expected = case
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = DecoMine(graph, engine=EngineOptions(workers=1))
+            assert session.get_pattern_count(catalog.house()) == expected
+
+
+class TestResultAliasShims:
+    def _result(self):
+        return ExecutionResult(
+            {"acc_count": 12}, 0.5, 2,
+            kernel_stats={"cache_hits": 3, "cache_misses": 1,
+                          "intersect_merge": 7},
+            retries=4, resumed_chunks=2, pool_restarts=1,
+        )
+
+    @pytest.mark.parametrize("alias", [
+        "kernel_stats", "cache_hit_rate", "kernel_calls",
+        "retries", "resumed_chunks", "pool_restarts",
+    ])
+    def test_alias_warns_and_matches_metrics(self, alias):
+        result = self._result()
+        with pytest.warns(DeprecationWarning,
+                          match=rf"ExecutionResult\.{alias} is deprecated"):
+            old = getattr(result, alias)
+        new = getattr(result.metrics, alias)
+        assert old == new
+
+    def test_metrics_access_does_not_warn(self):
+        result = self._result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert result.metrics.retries == 4
+            assert result.metrics.kernel_stats["cache_hits"] == 3
+            assert result.metrics.cache_hit_rate == pytest.approx(0.75)

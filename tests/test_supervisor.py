@@ -357,12 +357,13 @@ class TestForkStateReentrancy:
         })
         try:
             engine._set_worker_token(token)
-            index, attempt, accumulators, seconds, stats = (
+            index, attempt, accumulators, seconds, stats, spans = (
                 engine._chunk_worker((5, 2, None, None))
             )
             assert index == 5 and attempt == 2
             assert accumulators["acc_count"] // plan.info.divisor == expected
             assert seconds > 0
+            assert spans == []  # tracing disabled: no worker spans shipped
         finally:
             monkeypatch.setattr(engine, "_WORKER_TOKEN", None)
             engine._release_fork_state(token)
