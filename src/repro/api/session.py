@@ -30,6 +30,7 @@ from repro.compiler.specs import Constraint, DecompSpec, DirectSpec
 from repro.costmodel import CostModel, CostProfile, get_model, profile_graph
 from repro.exceptions import PatternError
 from repro.graph.csr import CSRGraph
+from repro.graph.transform import orient
 from repro.observe.calibration import calibrating, record_plan_execution
 from repro.observe.trace import span
 from repro.patterns.conversion import edge_induced_requirements
@@ -166,12 +167,20 @@ class DecoMine:
         constraints: tuple[Constraint, ...] = (),
     ) -> CompiledPlan:
         """Compile (or fetch from cache) the best plan for a pattern."""
+        orientation = "none"
         if mode == "count" and not constraints:
-            key = (canonical_code(pattern), mode, induced)
+            # Orientation applies to counting plans only — relabeled ids
+            # would leak into emit UDFs and constraint predicates — so
+            # emit/constrained plans compile unoriented and the engine
+            # strips the option at execution time (see _execute).
+            orientation = self.engine_options.orientation
+            key = (canonical_code(pattern), mode, induced, orientation)
         else:
             key = (pattern, mode, induced, constraints)
         plan = self._plan_cache.get(key)
         if plan is None:
+            if orientation != "none":
+                self._attach_orientation_stats(orientation)
             plan = compile_pattern(
                 pattern,
                 self.profile,
@@ -180,9 +189,26 @@ class DecoMine:
                 induced=induced,
                 constraints=constraints,
                 options=self.options,
+                orientation=orientation,
             )
             self._plan_cache[key] = plan
         return plan
+
+    def _attach_orientation_stats(self, orientation: str) -> None:
+        """Feed measured out-degree statistics to the cost models.
+
+        ``orient`` memoizes per (graph, mode), so this shares the
+        relabeled copy the engine will execute on; the profile fields
+        let the models price oriented candidate sets by out-degree
+        instead of the ``avg_degree / 2`` fallback.
+        """
+        profile = self.profile
+        if profile.orientation == orientation:
+            return
+        oriented = orient(self.graph, orientation)
+        profile.orientation = orientation
+        profile.avg_out_degree = float(oriented.avg_out_degree)
+        profile.max_out_degree = float(oriented.max_out_degree)
 
     def explain(self, pattern: Pattern, induced: bool = False) -> str:
         """Human-readable description of the plan the compiler selected."""
@@ -244,8 +270,17 @@ class DecoMine:
         # Supervision re-runs chunks, which is only sound for counting
         # accumulators — emit-mode UDF deliveries are not idempotent.
         policy = self.run_policy if plan.mode == "count" else None
+        overrides = {}
         if plan.mode != "count" and options.workers != 1:
-            options = replace(options, workers=1)
+            overrides["workers"] = 1
+        if options.orientation != "none" and plan.orientation == "none":
+            # The plan carries no oriented ops — either it is an
+            # emit/constrained plan (relabeled ids would be observable)
+            # or the orient pass found nothing to rewrite.  Relabeling
+            # alone buys nothing and can hurt, so run on the original.
+            overrides["orientation"] = "none"
+        if overrides:
+            options = replace(options, **overrides)
         result = execute_plan(
             plan, self.graph, ctx=ctx, options=options, policy=policy,
         )
@@ -341,7 +376,7 @@ class DecoMine:
         predicates = [predicate for predicate, _ in constraints]
         plan = self.plan_for(pattern, constraints=specs)
         ctx = ExecutionContext(plan.root.num_tables, predicates=predicates)
-        options = replace(self.engine_options, workers=1)
+        options = replace(self.engine_options, workers=1, orientation="none")
         result = execute_plan(plan, self.graph, ctx=ctx, options=options)
         return result.raw_count
 

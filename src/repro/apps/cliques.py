@@ -9,6 +9,12 @@ enumerate cliques in the resulting DAG, where every out-neighborhood is
 small (bounded by the degeneracy), so each clique is counted exactly once
 with no symmetry breaking needed.
 
+The ordering and the oriented adjacency come from
+:mod:`repro.graph.transform` — the same subsystem the compiler's orient
+pass and the engine use — so there is exactly one degeneracy-peeling
+implementation in the repository.  Clique counts are invariant under the
+relabeling ``orient`` applies (it is a graph isomorphism).
+
 It doubles as the independent oracle for the compiler's clique plans.
 """
 
@@ -16,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph import transform
 from repro.graph import vertex_set as vs
 from repro.graph.csr import CSRGraph
 
@@ -27,35 +34,19 @@ def degeneracy_order(graph: CSRGraph) -> list[int]:
 
     Classic Matula-Beck bucket peeling: repeatedly remove a vertex of
     minimum remaining degree.  The orientation induced by this order
-    bounds every out-degree by the graph's degeneracy.
+    bounds every out-degree by the graph's degeneracy.  Delegates to
+    :func:`repro.graph.transform.degeneracy_order`.
     """
-    n = graph.num_vertices
-    degree = [graph.degree(v) for v in range(n)]
-    max_degree = max(degree, default=0)
-    buckets: list[set[int]] = [set() for _ in range(max_degree + 1)]
-    for v in range(n):
-        buckets[degree[v]].add(v)
-    removed = [False] * n
-    order: list[int] = []
-    current = 0
-    for _ in range(n):
-        while current <= max_degree and not buckets[current]:
-            current += 1
-        v = buckets[current].pop()
-        removed[v] = True
-        order.append(v)
-        for u in graph.neighbors(v).tolist():
-            if not removed[u]:
-                buckets[degree[u]].discard(u)
-                degree[u] -= 1
-                buckets[degree[u]].add(u)
-                if degree[u] < current:
-                    current = degree[u]
-    return order
+    return transform.degeneracy_order(graph).tolist()
 
 
 def _out_neighbors(graph: CSRGraph, order: list[int]) -> list[np.ndarray]:
-    """Out-neighbor arrays under the degeneracy orientation (sorted)."""
+    """Out-neighbor arrays under an explicit vertex order (sorted).
+
+    Kept for callers that supply their own order; the counting entry
+    points below use :func:`repro.graph.transform.orient`, whose
+    relabeled tail-slice views avoid this per-vertex rebuild.
+    """
     rank = [0] * graph.num_vertices
     for position, v in enumerate(order):
         rank[v] = position
@@ -67,6 +58,12 @@ def _out_neighbors(graph: CSRGraph, order: list[int]) -> list[np.ndarray]:
     return out
 
 
+def _oriented_adjacency(graph: CSRGraph) -> list[np.ndarray]:
+    """Degeneracy-oriented out-neighborhoods (relabeled, memoized)."""
+    oriented = transform.orient(graph, "degeneracy")
+    return [oriented.out_neighbors(v) for v in range(oriented.num_vertices)]
+
+
 def count_cliques(graph: CSRGraph, k: int) -> int:
     """Number of k-cliques (each counted once)."""
     if k < 1:
@@ -75,8 +72,7 @@ def count_cliques(graph: CSRGraph, k: int) -> int:
         return graph.num_vertices
     if k == 2:
         return graph.num_edges
-    order = degeneracy_order(graph)
-    out = _out_neighbors(graph, order)
+    out = _oriented_adjacency(graph)
 
     total = 0
 
@@ -102,8 +98,7 @@ def clique_census(graph: CSRGraph, max_k: int) -> dict[int, int]:
     ``candidates`` their common out-neighborhood: every candidate closes a
     ``chosen + 1``-clique, and recursion grows larger ones.
     """
-    order = degeneracy_order(graph)
-    out = _out_neighbors(graph, order)
+    out = _oriented_adjacency(graph)
     census = {k: 0 for k in range(3, max_k + 1)}
 
     def extend(candidates: np.ndarray, chosen: int) -> None:

@@ -32,6 +32,7 @@ _SYSTEMS: dict[tuple, object] = {}
 
 SYSTEM_NAMES = (
     "decomine",
+    "decomine(oriented)",
     "automine",
     "peregrine",
     "graphpi",
@@ -48,8 +49,8 @@ def is_cached_system(name: str) -> bool:
     """True for systems that benefit from warm measurement (they carry
     plan/statistics caches); the enumerate-everything baselines re-do all
     work every run."""
-    return name in ("decomine", "automine", "peregrine", "graphpi",
-                    "graphpi(count)", "escape")
+    return name in ("decomine", "decomine(oriented)", "automine",
+                    "peregrine", "graphpi", "graphpi(count)", "escape")
 
 
 def profile_for(graph: CSRGraph) -> CostProfile:
@@ -60,12 +61,12 @@ def profile_for(graph: CSRGraph) -> CostProfile:
 
 
 def session_for(graph: CSRGraph, cost_model: str = "approx_mining",
-                workers: int = 1) -> DecoMine:
-    key = (id(graph), cost_model, workers)
+                workers: int = 1, orientation: str = "none") -> DecoMine:
+    key = (id(graph), cost_model, workers, orientation)
     if key not in _SESSIONS:
         _SESSIONS[key] = DecoMine(
             graph, cost_model=cost_model,
-            engine=EngineOptions(workers=workers),
+            engine=EngineOptions(workers=workers, orientation=orientation),
             profile=profile_for(graph),
         )
     return _SESSIONS[key]
@@ -79,6 +80,8 @@ def make_system(name: str, graph: CSRGraph):
     profile = profile_for(graph)
     if name == "decomine":
         system = DecoMineMiner(session_for(graph))
+    elif name == "decomine(oriented)":
+        system = DecoMineMiner(session_for(graph, orientation="degeneracy"))
     elif name == "automine":
         system = AutoMineInHouse(graph, profile=profile)
     elif name == "peregrine":

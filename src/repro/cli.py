@@ -101,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="vertex-induced semantics")
     count.add_argument("--workers", type=int, default=1,
                        help="parallel fork-pool workers (default 1)")
+    count.add_argument("--orient", choices=("none", "degree", "degeneracy"),
+                       default="none",
+                       help="execute on an orientation-relabeled graph: "
+                            "counting plans rewrite symmetry-trimmed "
+                            "adjacency to bounded out-neighborhoods "
+                            "(default none)")
     count.add_argument("--deadline", type=float, metavar="SECONDS",
                        help="whole-run deadline; unfinished chunks are "
                             "reported as failures instead of running over")
@@ -180,7 +186,10 @@ def main(argv: list[str] | None = None) -> int:
     session = DecoMine(
         graph,
         cost_model=args.cost_model,
-        engine=EngineOptions(workers=getattr(args, "workers", 1)),
+        engine=EngineOptions(
+            workers=getattr(args, "workers", 1),
+            orientation=getattr(args, "orient", "none"),
+        ),
         run_policy=run_policy,
     )
     print(f"graph: {graph}", file=sys.stderr)

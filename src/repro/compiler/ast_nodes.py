@@ -50,6 +50,11 @@ Arg = Union[str, int]
 SET_OPS = {
     "universe": 0,        # all graph vertices
     "neighbors": 1,       # (vertex var)
+    # Oriented adjacency: neighbors with a higher id, i.e. the tail
+    # slice of the sorted row on an orientation-relabeled graph.  Only
+    # the middle-end orient pass emits this op; the engine guarantees
+    # such plans execute on an OrientedGraph.
+    "oriented": 1,        # (vertex var)
     "intersect": 2,       # (set, set)
     "subtract": 2,        # (set, set)
     "copy": 1,            # (set)

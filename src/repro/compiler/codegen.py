@@ -34,6 +34,7 @@ from repro.compiler.ast_nodes import (
     Root,
     ScalarOp,
     SetOp,
+    walk,
 )
 from repro.graph import vertex_set as vs
 
@@ -70,6 +71,13 @@ def generate_source(root: Root, func_name: str = "_plan") -> str:
         "    _preds = ctx.predicates",
         "    _emit = ctx.emit",
     ]
+    if any(
+        isinstance(node, SetOp) and node.op == "oriented"
+        for node in walk(root)
+    ):
+        # Bound only when used: plain CSRGraphs have no oriented view,
+        # and plans without oriented ops must keep running on them.
+        lines.insert(2, "    _oriented = graph.out_neighbors")
     for name in root.accumulators:
         lines.append(f"    {name} = 0")
     emitter = _Emitter(lines, root)
@@ -151,6 +159,8 @@ class _Emitter:
             return "graph.vertices()"
         if op == "neighbors":
             return f"_neighbors({args[0]})"
+        if op == "oriented":
+            return f"_oriented({args[0]})"
         if op == "intersect":
             return f"_intersect({args[0]}, {args[1]})"
         if op == "subtract":

@@ -112,6 +112,8 @@ class _Interp:
             return graph.vertices()
         if op == "neighbors":
             return graph.neighbors(env[args[0]])
+        if op == "oriented":
+            return graph.out_neighbors(env[args[0]])
         if op == "intersect":
             return self.ctx.intersect(env[args[0]], env[args[1]])
         if op == "subtract":

@@ -14,6 +14,7 @@ from repro.compiler.passes.dce import dead_code_elimination
 from repro.compiler.passes.elide import elide_counting_loops
 from repro.compiler.passes.fuse import fuse_bounded_ops
 from repro.compiler.passes.licm import loop_invariant_code_motion
+from repro.compiler.passes.orient import orient_adjacency
 from repro.compiler.passes.pipeline import PassOptions, optimize
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "elide_counting_loops",
     "fuse_bounded_ops",
     "loop_invariant_code_motion",
+    "orient_adjacency",
     "optimize",
     "PassOptions",
 ]

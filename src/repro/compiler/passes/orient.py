@@ -1,0 +1,223 @@
+"""Orientation rewriting: symmetry-breaking trims onto oriented adjacency.
+
+The build stage realizes a restriction ``match[a] < match[b]`` on the
+candidate set of ``b`` as ``trim_above(candidates, var_a)`` — compute the
+full neighbor intersection, then keep only elements above the bound.  On
+an orientation-relabeled graph (:func:`repro.graph.transform.orient`,
+where ``id == rank``) the elements of ``neighbors(x)`` below ``x`` can
+never survive such a trim, so the adjacency lookup itself can switch to
+the oriented out-neighborhood ``oriented(x)`` — a zero-copy tail slice
+bounded by the degeneracy (or ``sqrt(2m)`` for the degree order) instead
+of a hub-sized row.  That shrinks every downstream intersection operand
+*before* the kernels run, which is the entire point of pruned adjacency
+in GraphMini and of early candidate reduction in Peregrine.
+
+Soundness is established by a guard analysis rather than pattern
+matching, so arbitrarily composed chains (intersections, subtractions —
+both operands — label filters, excludes, nested trims) qualify:
+
+1. **Forward**: for every set var, the vertex vars all its elements
+   are guaranteed to exceed (``exceeds``); for every loop var, the
+   vertex vars it is guaranteed to exceed (``above``).
+2. **Backward**: for every set var, the vertex vars ``g`` such that
+   membership of elements ``<= g`` can never affect an observable
+   result (``guarded``) — seeded by ``trim_above(s, y)``, which makes
+   elements ``<= y`` (and ``<=`` anything ``y`` exceeds) irrelevant in
+   ``s``, and propagated through set algebra.  A use as a loop source
+   or in a ``size`` clears the guard: every element is observable there.
+3. **Rewrite**: ``neighbors(x) -> oriented(x)`` whenever ``x`` is in the
+   target's guard (the dropped elements are all ``< x``, hence
+   unobservable); afterwards, any ``trim_above(s, y)`` with ``y`` in the
+   recomputed ``exceeds(s)`` is a no-op and is elided to a ``copy``.
+
+Restrictions that *disagree* with the orientation rank surface as
+``trim_below`` bounds; those chains keep their plain adjacency and full
+trims — the sound fallback — and are counted so observability surfaces
+how often the pass fails to fire.
+
+Runs after CSE (shared adjacency lists get one def with every consumer's
+guard intersected) and before fuse (surviving trim pairs still fuse into
+bounded kernels over the now-smaller oriented operands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ast_nodes import (
+    Loop,
+    Node,
+    Root,
+    ScalarOp,
+    SetOp,
+    child_blocks,
+    walk,
+)
+
+__all__ = ["OrientStats", "orient_adjacency"]
+
+#: Set ops whose result's low elements track the first operand's.
+_PASSTHROUGH_FIRST = ("subtract", "exclude", "filter_label", "copy",
+                      "trim_below")
+
+
+@dataclass
+class OrientStats:
+    """What the pass did to one tree."""
+
+    rewritten: int = 0      # neighbors -> oriented rewrites
+    trims_elided: int = 0   # trim_above ops proven no-ops
+    fallbacks: int = 0      # trim chains left on plain adjacency
+
+
+def orient_adjacency(root: Root) -> OrientStats:
+    """Rewrite guarded adjacency to oriented lookups; returns statistics."""
+    stats = OrientStats()
+    set_defs: dict[str, SetOp] = {}
+    statements: list[Node] = list(walk(root))
+    for node in statements:
+        if isinstance(node, SetOp):
+            set_defs[node.target] = node
+
+    exceeds = _forward_exceeds(statements, set_defs)
+    guarded = _backward_guards(statements, exceeds)
+
+    for node in statements:
+        if (
+            isinstance(node, SetOp)
+            and node.op == "neighbors"
+            and node.args[0] in guarded.get(node.target, frozenset())
+        ):
+            node.op = "oriented"
+            stats.rewritten += 1
+
+    # Re-run the forward analysis over the rewritten tree: oriented(x)
+    # now guarantees every element exceeds x, which proves some trims
+    # redundant and exposes misaligned chains for the fallback count.
+    exceeds = _forward_exceeds(statements, set_defs)
+    for node in statements:
+        if not isinstance(node, SetOp):
+            continue
+        if node.op == "trim_above" and node.args[1] in exceeds[node.args[0]]:
+            node.op = "copy"
+            node.args = (node.args[0],)
+            stats.trims_elided += 1
+        elif node.op in ("trim_above", "trim_below") and _chain_has_plain(
+            node.args[0], set_defs
+        ):
+            stats.fallbacks += 1
+    return stats
+
+
+def _forward_exceeds(
+    statements: list[Node], set_defs: dict[str, SetOp]
+) -> dict[str, frozenset]:
+    """For each set var, the vertex vars all its elements exceed.
+
+    Statements arrive in pre-order; single assignment guarantees every
+    def is visited before its uses, so one linear sweep converges.
+    """
+    exceeds: dict[str, frozenset] = {}
+    above: dict[str, frozenset] = {}
+    empty: frozenset = frozenset()
+    for node in statements:
+        if isinstance(node, Loop):
+            above[node.var] = exceeds.get(node.source, empty)
+        elif isinstance(node, SetOp):
+            op, args = node.op, node.args
+            if op == "oriented":
+                value = frozenset({args[0]}) | above.get(args[0], empty)
+            elif op == "trim_above":
+                value = (
+                    exceeds.get(args[0], empty)
+                    | {args[1]}
+                    | above.get(args[1], empty)
+                )
+            elif op in ("intersect", "intersect_upto"):
+                value = exceeds.get(args[0], empty) | exceeds.get(args[1], empty)
+            elif op == "intersect_from":
+                value = (
+                    exceeds.get(args[0], empty)
+                    | exceeds.get(args[1], empty)
+                    | {args[2]}
+                    | above.get(args[2], empty)
+                )
+            elif op in _PASSTHROUGH_FIRST or op in (
+                "subtract_upto", "subtract_from",
+            ):
+                value = exceeds.get(args[0], empty)
+            else:  # universe, label_universe, neighbors
+                value = empty
+            exceeds[node.target] = value
+    return exceeds
+
+
+def _backward_guards(
+    statements: list[Node], exceeds: dict[str, frozenset]
+) -> dict[str, frozenset]:
+    """For each set var, vertex vars whose low elements are unobservable.
+
+    ``guarded[s]`` holds vars ``g`` such that elements ``<= value(g)``
+    of ``s`` can neither appear in nor vanish from any observable result
+    (two-sided, which is what makes the subtrahend rewrite sound: an
+    element re-admitted by orienting ``b`` in ``subtract(a, b)`` is
+    below the guard and dies downstream regardless).  Computed by one
+    reverse sweep: uses are always visited before their operands' defs,
+    and each use intersects its contribution into the operand's guard.
+    """
+    guarded: dict[str, frozenset] = {}
+    above: dict[str, frozenset] = {}
+    empty: frozenset = frozenset()
+    for node in statements:  # loop-var bounds are a forward fact
+        if isinstance(node, Loop):
+            above[node.var] = exceeds.get(node.source, empty)
+
+    def restrict(name: str, guards: frozenset) -> None:
+        current = guarded.get(name)
+        guarded[name] = guards if current is None else (current & guards)
+
+    for node in reversed(statements):
+        if isinstance(node, Loop):
+            restrict(node.source, empty)
+        elif isinstance(node, ScalarOp):
+            for arg in node.args:
+                if isinstance(arg, str) and arg.startswith("s"):
+                    restrict(arg, empty)
+        elif isinstance(node, SetOp):
+            op, args = node.op, node.args
+            out = guarded.get(node.target, empty)
+            if op == "trim_above":
+                bound = args[1]
+                restrict(args[0], out | {bound} | above.get(bound, empty))
+            elif op in ("intersect", "subtract"):
+                restrict(args[0], out)
+                restrict(args[1], out)
+            elif op == "exclude":
+                restrict(args[0], out)
+            elif op in ("filter_label", "copy", "trim_below"):
+                restrict(args[0], out)
+            elif op in ("neighbors", "oriented"):
+                pass  # vertex-var operand, nothing to restrict
+            else:  # unhandled/fused forms: be conservative
+                for arg in args:
+                    if isinstance(arg, str) and arg.startswith("s"):
+                        restrict(arg, empty)
+    return guarded
+
+
+def _chain_has_plain(name: str, set_defs: dict[str, SetOp]) -> bool:
+    """True when a set's def chain still reads plain adjacency."""
+    seen: set[str] = set()
+    pending = [name]
+    while pending:
+        current = pending.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        node = set_defs.get(current)
+        if node is None:
+            continue
+        if node.op == "neighbors":
+            return True
+        pending.extend(a for a in node.args if isinstance(a, str))
+    return False

@@ -2,11 +2,13 @@
 
 Order matters: elision first creates size computations that LICM can then
 hoist; LICM co-locates duplicate expressions so CSE can unify them
-(including across PLR compensation subtrees); fusion then collapses
-trim-after-intersect/subtract pairs into bounded kernel calls (it must
-run after CSE so shared intermediates are left alone); DCE sweeps the
-leftovers.  Every pass can be toggled — the ablation benchmarks measure
-each one.
+(including across PLR compensation subtrees); orientation rewriting runs
+after CSE (a shared adjacency list then has one def whose every consumer
+is checked) and before fusion, so trims it cannot elide still fuse into
+bounded kernels over the now-oriented operands; fusion collapses
+trim-after-intersect/subtract pairs into bounded kernel calls; DCE
+sweeps the leftovers.  Every pass can be toggled — the ablation
+benchmarks measure each one.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from repro.compiler.passes.dce import dead_code_elimination
 from repro.compiler.passes.elide import elide_counting_loops
 from repro.compiler.passes.fuse import fuse_bounded_ops
 from repro.compiler.passes.licm import loop_invariant_code_motion
+from repro.compiler.passes.orient import orient_adjacency
 from repro.observe.trace import span
 
 __all__ = ["PassOptions", "optimize"]
@@ -26,13 +29,21 @@ __all__ = ["PassOptions", "optimize"]
 
 @dataclass(frozen=True)
 class PassOptions:
-    """Middle-end configuration (all enabled by default)."""
+    """Middle-end configuration (all enabled by default).
+
+    ``orient`` names the graph orientation the plan will execute under
+    (``"none"``, ``"degree"`` or ``"degeneracy"``).  Any non-``"none"``
+    value enables the adjacency-rewriting pass; the rewrite itself is
+    mode-independent (it relies only on ``id == rank``), the mode is
+    recorded so compiled plans know which relabeled graph they require.
+    """
 
     elide: bool = True
     licm: bool = True
     cse: bool = True
     fuse: bool = True
     dce: bool = True
+    orient: str = "none"
 
     @classmethod
     def none(cls) -> "PassOptions":
@@ -48,6 +59,9 @@ class PassReport:
     unified: int = 0
     fused: int = 0
     removed: int = 0
+    oriented: int = 0
+    orient_elided: int = 0
+    orient_fallbacks: int = 0
 
 
 def optimize(root: Root, options: PassOptions = PassOptions()) -> PassReport:
@@ -65,6 +79,14 @@ def optimize(root: Root, options: PassOptions = PassOptions()) -> PassReport:
         with span("pass:cse") as s:
             report.unified = common_subexpression_elimination(root)
             s.set(unified=report.unified)
+    if options.orient != "none":
+        with span("pass:orient", mode=options.orient) as s:
+            stats = orient_adjacency(root)
+            report.oriented = stats.rewritten
+            report.orient_elided = stats.trims_elided
+            report.orient_fallbacks = stats.fallbacks
+            s.set(rewritten=stats.rewritten, elided=stats.trims_elided,
+                  fallbacks=stats.fallbacks)
     if options.fuse:
         with span("pass:fuse") as s:
             report.fused = fuse_bounded_ops(root)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.compiler.build import PlanInfo, build_ast
@@ -20,6 +20,7 @@ from repro.compiler.passes import PassOptions, optimize
 from repro.compiler.search import SearchOptions, search
 from repro.compiler.specs import Constraint, PlanSpec
 from repro.costmodel import CostModel, CostProfile, get_model
+from repro.exceptions import CompilationError
 from repro.observe.trace import span
 from repro.patterns.pattern import Pattern
 
@@ -52,6 +53,11 @@ class CompiledPlan:
     compile_seconds: float
     model_name: str
     aux_plans: tuple[tuple["CompiledPlan", int], ...] = ()
+    #: Orientation the plan was compiled for.  Non-``"none"`` plans may
+    #: contain ``oriented`` adjacency ops and must execute on the
+    #: matching :class:`~repro.graph.transform.OrientedGraph`; the
+    #: engine wraps the input graph accordingly.
+    orientation: str = "none"
 
     @property
     def uses_decomposition(self) -> bool:
@@ -78,21 +84,42 @@ def compile_pattern(
     induced: bool = False,
     constraints: tuple[Constraint, ...] = (),
     options: SearchOptions = SearchOptions(),
+    orientation: str = "none",
 ) -> CompiledPlan:
-    """Search the algorithm space and compile the best candidate."""
+    """Search the algorithm space and compile the best candidate.
+
+    ``orientation`` enables the middle-end's adjacency-rewriting pass:
+    the resulting plan expects to run on the matching orientation-
+    relabeled graph (the engine wraps the input automatically).  Only
+    count-mode unconstrained plans may be oriented — relabeling changes
+    vertex ids, which emit-mode UDFs and constraint predicates observe.
+    """
     if isinstance(model, str):
         model = get_model(model)
+    if orientation != "none":
+        if mode != "count" or constraints:
+            raise CompilationError(
+                "orientation applies to unconstrained counting plans "
+                "only: relabeled vertex ids would leak into emit-mode "
+                "partial embeddings and constraint predicates"
+            )
+        options = replace(
+            options, passes=replace(options.passes, orient=orientation)
+        )
     cache_key = None
     if mode == "count" and not constraints:
         from repro.patterns.isomorphism import canonical_code
 
         cache = _PLAN_CACHE.setdefault(profile, {})
-        cache_key = (canonical_code(pattern), model.name, induced, options)
+        cache_key = (
+            canonical_code(pattern), model.name, induced, options, orientation,
+        )
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
     started = time.perf_counter()
-    with span("compile", pattern=pattern.name or repr(pattern), mode=mode):
+    with span("compile", pattern=pattern.name or repr(pattern), mode=mode,
+              orientation=orientation):
         with span("search"):
             best = search(
                 pattern, profile, model, mode=mode, induced=induced,
@@ -109,7 +136,7 @@ def compile_pattern(
             for shrinkage in spec.decomposition.shrinkages:
                 quotient_plan = compile_pattern(
                     shrinkage.pattern, profile, model, mode="count",
-                    options=options,
+                    options=options, orientation=orientation,
                 )
                 multiplier = (
                     automorphism_count(shrinkage.pattern)
@@ -118,6 +145,16 @@ def compile_pattern(
                 aux.append((quotient_plan, multiplier))
             aux_plans = tuple(aux)
     elapsed = time.perf_counter() - started
+    _publish_orient_counters(orientation, best.report)
+    # Sound fallback: when the orient pass rewrote nothing (the winning
+    # plan's restrictions don't align with the rank), the plan records
+    # orientation "none" and the session executes it on the *original*
+    # graph.  Relabeling without rewrites still counts correctly but can
+    # actively hurt — it systematically makes the higher-degree endpoint
+    # of every edge the extension pivot.
+    effective_orientation = orientation
+    if orientation != "none" and not (best.report and best.report.oriented):
+        effective_orientation = "none"
     plan = CompiledPlan(
         pattern=pattern,
         spec=best.spec,
@@ -130,10 +167,39 @@ def compile_pattern(
         compile_seconds=elapsed,
         model_name=model.name,
         aux_plans=aux_plans,
+        orientation=effective_orientation,
     )
     if cache_key is not None:
         _PLAN_CACHE[profile][cache_key] = plan
     return plan
+
+
+def _publish_orient_counters(orientation: str, report) -> None:
+    """Registry counters for the *selected* plan's orient-pass activity.
+
+    Published here rather than inside the pass: the search optimizes
+    every candidate, and counting losing candidates would overstate the
+    rewrite's reach by an order of magnitude.
+    """
+    if orientation == "none" or report is None:
+        return
+    from repro.observe import metrics as om
+
+    if report.oriented:
+        om.counter(
+            "repro_orient_loops_rewritten_total",
+            "adjacency lookups switched to oriented out-neighborhoods",
+        ).inc(report.oriented)
+    if report.orient_elided:
+        om.counter(
+            "repro_orient_trims_elided_total",
+            "symmetry trims proven redundant by orientation",
+        ).inc(report.orient_elided)
+    if report.orient_fallbacks:
+        om.counter(
+            "repro_orient_fallbacks_total",
+            "trim chains kept on plain adjacency (misaligned restriction)",
+        ).inc(report.orient_fallbacks)
 
 
 def compile_spec(

@@ -71,6 +71,11 @@ class PlanCandidate:
     root: Root
     info: PlanInfo
     cost: float
+    #: Middle-end activity for this candidate's tree.  Kept so the
+    #: pipeline can publish the *winning* plan's pass counters (orient
+    #: rewrites, fusions) without every losing candidate inflating the
+    #: metrics registry.
+    report: object | None = None
 
 
 def search(
@@ -133,14 +138,15 @@ def _evaluate(
 ) -> PlanCandidate:
     with span("candidate", kind=spec.kind) as s:
         root, info = build_ast(spec, mode)
-        optimize(root, options.passes)
+        report = optimize(root, options.passes)
         cost = estimate_cost(root, profile, model)
         if isinstance(spec, DecompSpec) and not spec.include_shrinkages:
             for shrinkage in spec.decomposition.shrinkages:
                 cost += _global_count_estimate(shrinkage.pattern, profile,
                                                model)
         s.set(cost=float(cost))
-    return PlanCandidate(spec=spec, root=root, info=info, cost=cost)
+    return PlanCandidate(spec=spec, root=root, info=info, cost=cost,
+                         report=report)
 
 
 def _global_count_estimate(pattern, profile, model) -> float:

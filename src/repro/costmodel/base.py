@@ -63,34 +63,73 @@ class CostModel(ABC):
     def level_iterations(self, meta: LoopMeta, profile: CostProfile) -> float:
         """Expected iterations of one entry of this loop, before trims."""
 
-    def adjusted_iterations(self, meta: LoopMeta, profile: CostProfile) -> float:
+    def adjusted_iterations(
+        self,
+        meta: LoopMeta,
+        profile: CostProfile,
+        oriented: bool = False,
+    ) -> float:
         iterations = self.level_iterations(meta, profile)
         if meta.num_trims:
             iterations /= 2.0 ** meta.num_trims
         if meta.label is not None:
             iterations *= profile.label_fraction(meta.label)
+        if oriented:
+            # An oriented-derived candidate set is a subset of some
+            # out-neighborhood, so the expected out-degree caps the
+            # iteration count regardless of what the model predicted
+            # from the undirected prefix pattern.
+            iterations = min(iterations, max(profile.oriented_degree(), 1.0))
         return max(iterations, 0.0)
 
 
 def estimate_cost(root: Root, profile: CostProfile, model: CostModel) -> float:
     """Predicted execution cost of an (optimized) AST."""
-    return _block_cost(root.body, 1.0, profile, model)
+    return _block_cost(root.body, 1.0, profile, model, set())
+
+
+#: Set ops whose result inherits orientation from ANY set operand (the
+#: result is a subset of each operand), versus from the first only.
+_ANY_OPERAND_ORIENTED = ("intersect", "intersect_upto", "intersect_from")
+_FIRST_OPERAND_ORIENTED = (
+    "subtract", "subtract_upto", "subtract_from", "copy", "exclude",
+    "filter_label", "trim_below", "trim_above",
+)
 
 
 def _block_cost(
-    block: list[Node], entries: float, profile: CostProfile, model: CostModel
+    block: list[Node],
+    entries: float,
+    profile: CostProfile,
+    model: CostModel,
+    oriented_vars: set[str],
 ) -> float:
     cost = 0.0
     for node in block:
         if isinstance(node, SetOp):
-            cost += entries * _set_op_cost(node, profile)
+            if node.op == "oriented":
+                oriented_vars.add(node.target)
+            elif node.op in _ANY_OPERAND_ORIENTED:
+                if any(
+                    a in oriented_vars
+                    for a in node.args
+                    if isinstance(a, str)
+                ):
+                    oriented_vars.add(node.target)
+            elif node.op in _FIRST_OPERAND_ORIENTED:
+                if node.args[0] in oriented_vars:
+                    oriented_vars.add(node.target)
+            cost += entries * _set_op_cost(node, profile, oriented_vars)
         elif isinstance(node, (ScalarOp, Accumulate, HashGet, HashAdd,
                                HashClear, EmitPartial)):
             cost += entries * _SCALAR_OP_WEIGHT
         elif isinstance(node, Loop):
-            iterations = model.adjusted_iterations(node.meta, profile)
+            iterations = model.adjusted_iterations(
+                node.meta, profile, oriented=node.source in oriented_vars
+            )
             cost += entries * _LOOP_OVERHEAD
-            cost += _block_cost(node.body, entries * iterations, profile, model)
+            cost += _block_cost(node.body, entries * iterations, profile,
+                                model, oriented_vars)
         elif isinstance(node, IfPositive):
             # A subpattern-count guard passes only when extensions exist.
             # Estimate that probability from the expected extension count
@@ -104,17 +143,29 @@ def _block_cost(
                     expected *= model.adjusted_iterations(meta, profile)
                 probability = min(1.0, expected)
             cost += _block_cost(
-                node.body, entries * probability, profile, model
+                node.body, entries * probability, profile, model,
+                oriented_vars,
             )
         elif isinstance(node, IfPred):
-            cost += _block_cost(node.body, entries, profile, model)
+            cost += _block_cost(node.body, entries, profile, model,
+                                oriented_vars)
     return cost
 
 
-def _set_op_cost(node: SetOp, profile: CostProfile) -> float:
+def _set_op_cost(
+    node: SetOp, profile: CostProfile, oriented_vars: set[str]
+) -> float:
     if node.op in ("universe", "label_universe", "copy"):
         return _SCALAR_OP_WEIGHT
-    if node.op == "neighbors":
+    if node.op in ("neighbors", "oriented"):
         return _SCALAR_OP_WEIGHT  # zero-copy CSR slice
-    # Intersections/subtractions/trims touch neighbor-list-sized arrays.
-    return _SET_OP_BASE + _SET_OP_PER_DEGREE * max(profile.avg_degree, 1.0)
+    # Intersections/subtractions/trims touch neighbor-list-sized arrays;
+    # when every set operand is oriented-derived the arrays are
+    # out-neighborhood-sized instead of full-row-sized.
+    set_args = [a for a in node.args if isinstance(a, str)
+                and not a.startswith(("v", "c"))]
+    if set_args and all(a in oriented_vars for a in set_args):
+        degree = profile.oriented_degree()
+    else:
+        degree = profile.avg_degree
+    return _SET_OP_BASE + _SET_OP_PER_DEGREE * max(degree, 1.0)

@@ -47,6 +47,13 @@ class CostProfile:
     max_table_size: int = 0
     profiling_seconds: float = 0.0
     sample_ratio: float = 1.0
+    #: Orientation statistics, attached by the session when an oriented
+    #: execution is requested (see :mod:`repro.graph.transform`).  All
+    #: three cost models price ``oriented``-derived candidate sets by
+    #: out-degree instead of full degree through these.
+    orientation: str = "none"
+    avg_out_degree: float = 0.0
+    max_out_degree: float = 0.0
     # Lazy on-demand profiling state.
     _graph: CSRGraph | None = None
     _sample: CSRGraph | None = None
@@ -76,6 +83,17 @@ class CostProfile:
         if self.sample_ratio < 1.0:
             estimate /= self.sample_ratio ** pattern.num_edges
         return estimate
+
+    def oriented_degree(self) -> float:
+        """Expected out-degree under the active orientation.
+
+        Falls back to ``avg_degree / 2`` when no measured statistic is
+        attached: every orientation keeps exactly one arc per edge, so
+        the mean out-degree is ``m / n`` regardless of the order.
+        """
+        if self.avg_out_degree > 0.0:
+            return self.avg_out_degree
+        return self.avg_degree / 2.0
 
     def label_fraction(self, label: int) -> float:
         """Fraction of graph vertices carrying ``label`` (1.0 if unlabeled)."""

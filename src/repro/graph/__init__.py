@@ -2,5 +2,13 @@
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
+from repro.graph.transform import OrientedGraph, Reordering, orient, reorder
 
-__all__ = ["CSRGraph", "GraphBuilder"]
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "OrientedGraph",
+    "Reordering",
+    "orient",
+    "reorder",
+]

@@ -34,7 +34,7 @@ class CSRGraph:
 
     __slots__ = (
         "indptr", "indices", "labels", "name", "_label_index",
-        "_neighbor_views",
+        "_neighbor_views", "_degrees", "_degree_prefix", "_oriented_cache",
     )
 
     def __init__(
@@ -52,6 +52,9 @@ class CSRGraph:
         self.name = name
         self._label_index: dict[int, np.ndarray] | None = None
         self._neighbor_views: list | None = None
+        self._degrees: np.ndarray | None = None
+        self._degree_prefix: np.ndarray | None = None
+        self._oriented_cache: dict | None = None
         if self.labels is not None and self.labels.shape[0] != self.num_vertices:
             raise ValueError(
                 f"labels array has {self.labels.shape[0]} entries for "
@@ -79,7 +82,28 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        return np.diff(self.indptr)
+        """Per-vertex degrees (computed once, cached; treat read-only)."""
+        degrees = self._degrees
+        if degrees is None:
+            degrees = np.diff(self.indptr)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return degrees
+
+    @property
+    def degree_prefix(self) -> np.ndarray:
+        """``prefix[v]`` = total degree of vertices ``< v`` (cached).
+
+        Used by the engine's weighted chunk planner; equals ``indptr``
+        for a plain CSR but is kept as a separate read-only array so
+        oriented views can expose the same interface over out-degrees.
+        """
+        prefix = self._degree_prefix
+        if prefix is None:
+            prefix = self.indptr.copy()
+            prefix.setflags(write=False)
+            self._degree_prefix = prefix
+        return prefix
 
     @property
     def max_degree(self) -> int:

@@ -42,6 +42,8 @@ import os
 import time
 import warnings
 from dataclasses import dataclass, replace
+
+import numpy as np
 from types import MappingProxyType
 from typing import Mapping
 
@@ -50,6 +52,7 @@ from repro.compiler.interpreter import run_interpreter
 from repro.compiler.pipeline import CompiledPlan
 from repro.exceptions import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
+from repro.graph.transform import ORIENTATIONS, OrientedGraph, orient
 from repro.observe.trace import (
     begin_worker_trace,
     graft_worker_spans,
@@ -88,6 +91,14 @@ class EngineOptions:
     faults:
         Optional :class:`~repro.runtime.faults.FaultPlan` injected into
         every chunk context (deterministic fault-injection harness).
+    orientation:
+        ``"none"`` (default), ``"degree"`` or ``"degeneracy"``: execute
+        counting plans on the orientation-relabeled graph (see
+        :mod:`repro.graph.transform`).  Counts are unchanged (relabeling
+        is an isomorphism); plans compiled with the matching orientation
+        replace symmetry-trimmed adjacency with out-neighborhood
+        lookups, and chunk ranges are cut by oriented-degree prefix
+        sums so relabeled heavy hitters spread across chunks.
     """
 
     workers: int = 1
@@ -95,6 +106,7 @@ class EngineOptions:
     executor: str = "codegen"
     cache: bool | int = True
     faults: object | None = None
+    orientation: str = "none"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -105,6 +117,11 @@ class EngineOptions:
             )
         if self.executor not in ("codegen", "interpreter"):
             raise ExecutionError(f"unknown executor {self.executor!r}")
+        if self.orientation not in ORIENTATIONS:
+            raise ExecutionError(
+                f"unknown orientation {self.orientation!r}; expected one "
+                f"of {ORIENTATIONS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -314,6 +331,73 @@ def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
     ]
 
 
+def _plan_ranges(graph: CSRGraph, orientation: str,
+                 chunks: int) -> list[tuple[int, int]]:
+    """Chunk the outer vertex loop.
+
+    Unoriented runs keep the historic even vertex split.  Oriented runs
+    cut by oriented-degree prefix sums instead: relabeling sorts heavy
+    hitters to one end of the id space, so equal-width vertex ranges
+    would put nearly all the work into the chunks covering that end.
+    Each vertex is weighted by its out-degree plus one (the constant
+    loop overhead), so zero-out-degree tails still split.
+    """
+    if orientation == "none" or not isinstance(graph, OrientedGraph):
+        return chunk_ranges(graph.num_vertices, chunks)
+    total_vertices = graph.num_vertices
+    chunks = max(1, min(chunks, total_vertices)) if total_vertices else 1
+    weights = graph.out_degree_prefix + np.arange(
+        total_vertices + 1, dtype=np.int64
+    )
+    total = int(weights[-1])
+    targets = [round(i * total / chunks) for i in range(1, chunks)]
+    cuts = np.searchsorted(weights, targets, side="left")
+    bounds = [0, *(int(c) for c in cuts), total_vertices]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(len(bounds) - 1)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def _effective_orientation(plan: CompiledPlan, options: EngineOptions) -> str:
+    """Resolve the orientation this execution runs under.
+
+    A plan compiled for an orientation *requires* it (its ``oriented``
+    ops read ``graph.out_neighbors``); a bare ``options.orientation``
+    merely relabels the graph, which still pays off because symmetry
+    trims then cut to out-neighborhood-sized suffixes.  Conflicting
+    non-``"none"`` requests are an error rather than a silent pick.
+    """
+    plan_mode = getattr(plan, "orientation", "none")
+    if (
+        plan_mode != "none"
+        and options.orientation != "none"
+        and plan_mode != options.orientation
+    ):
+        raise ExecutionError(
+            f"plan was compiled for orientation {plan_mode!r} but the "
+            f"engine was configured with {options.orientation!r}; "
+            "recompile the plan or align EngineOptions.orientation"
+        )
+    orientation = plan_mode if plan_mode != "none" else options.orientation
+    if orientation == "none":
+        return orientation
+    if plan.mode == "emit":
+        raise ExecutionError(
+            "oriented execution relabels vertex ids, which emit-mode "
+            "UDFs observe through partial embeddings; run emit plans "
+            "with orientation='none'"
+        )
+    if getattr(plan.root, "num_preds", 0):
+        raise ExecutionError(
+            "oriented execution relabels vertex ids, which constraint "
+            "predicates observe; run constrained plans with "
+            "orientation='none'"
+        )
+    return orientation
+
+
 def _merge_stats(into: dict[str, int], part: dict[str, int]) -> None:
     for key, value in part.items():
         into[key] = into.get(key, 0) + value
@@ -483,6 +567,12 @@ def execute_plan(
             or ctx.faults is not None
         ) and plan.mode != "emit"
 
+    orientation = _effective_orientation(plan, options)
+    # orient() memoizes per (graph, mode), so repeated executions — and
+    # the aux-plan recursion below, which passes the *original* graph —
+    # reuse one relabeled copy.
+    exec_graph = orient(graph, orientation) if orientation != "none" else graph
+
     deadline_at = None
     if policy_budget is not None and policy_budget.deadline_s is not None:
         deadline_at = time.monotonic() + policy_budget.deadline_s
@@ -490,7 +580,7 @@ def execute_plan(
     run_span = span(
         "execute", pattern=plan.pattern.name or repr(plan.pattern),
         mode=plan.mode, workers=options.workers, executor=options.executor,
-        supervised=bool(supervised),
+        supervised=bool(supervised), orientation=orientation,
     )
     with run_span:
         started = time.perf_counter()
@@ -501,13 +591,13 @@ def execute_plan(
         if supervised:
             from repro.runtime.supervisor import Supervisor
 
-            ranges = chunk_ranges(
-                graph.num_vertices,
+            ranges = _plan_ranges(
+                exec_graph, orientation,
                 options.workers * options.chunks_per_worker,
             )
             outcome = Supervisor(
-                plan, graph, ctx, ranges, options.workers, options.executor,
-                budget=policy_budget, checkpoint=checkpoint,
+                plan, exec_graph, ctx, ranges, options.workers,
+                options.executor, budget=policy_budget, checkpoint=checkpoint,
                 deadline_at=deadline_at, cache=options.cache,
             ).run()
             accumulators = outcome.accumulators
@@ -520,7 +610,7 @@ def execute_plan(
             _merge_stats(stats, setops.STATS.delta(kernel_before))
         elif options.workers <= 1:
             with span("chunk", index=0) as chunk_span:
-                accumulators = _run_range(plan, graph, ctx, None, None,
+                accumulators = _run_range(plan, exec_graph, ctx, None, None,
                                           options.executor)
             # When tracing, the span's clock is the measurement — a
             # second perf_counter pair could disagree with it (GC pause
@@ -529,12 +619,12 @@ def execute_plan(
                              or (time.perf_counter() - started)]
             stats = setops.STATS.delta(kernel_before)
         else:
-            ranges = chunk_ranges(
-                graph.num_vertices,
+            ranges = _plan_ranges(
+                exec_graph, orientation,
                 options.workers * options.chunks_per_worker,
             )
             accumulators, chunk_seconds, stats = _run_parallel(
-                plan, graph, ctx, ranges, options
+                plan, exec_graph, ctx, ranges, options
             )
             _merge_stats(stats, setops.STATS.delta(kernel_before))
         for key, value in ctx.cache_counters().items():

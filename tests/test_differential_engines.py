@@ -17,9 +17,10 @@ from repro.baselines import reference
 from repro.compiler.pipeline import compile_pattern
 from repro.costmodel import profile_graph
 from repro.graph.generators import erdos_renyi, power_law, small_world
+from repro.graph.transform import ORIENTATIONS
 from repro.patterns import catalog
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 
 # Dense-ish, skewed, and locally clustered — three different degree/
 # triangle regimes so kernel dispatch exercises both gallop and merge
@@ -92,3 +93,26 @@ def test_parallel_execution_agrees(graph_case):
     plan = compile_pattern(PATTERNS["house"], profile)
     result = execute_plan(plan, graph, workers=2)
     assert result.embedding_count == expected["house"]
+
+
+@pytest.mark.parametrize("orientation", ORIENTATIONS)
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_orientations_agree_with_reference(name, orientation, graph_case):
+    """Relabeling is an isomorphism: counts are bit-identical across
+    orientation modes, oriented-adjacency rewrites included, on both
+    executors."""
+    graph, profile, expected = graph_case
+    plan = compile_pattern(PATTERNS[name], profile, orientation=orientation)
+    # Plans whose restrictions don't align with the rank fall back to
+    # orientation "none"; executing them on the relabeled graph anyway
+    # (options below) must still be count-preserving.
+    assert plan.orientation in ("none", orientation)
+    counts = []
+    for executor in ("codegen", "interpreter"):
+        options = EngineOptions(executor=executor, orientation=orientation)
+        result = execute_plan(plan, graph, options=options)
+        assert result.embedding_count == expected[name], (
+            f"{name} under orientation={orientation} executor={executor}"
+        )
+        counts.append(result.accumulators)
+    assert counts[0] == counts[1]
