@@ -163,6 +163,44 @@ def run_experiment():
         f"({sup.metrics.retries} retries, "
         f"{sup.metrics.pool_restarts} pool restarts)"
     )
+
+    # Observability: the same supervised 4-worker run with the run
+    # ledger recording and progress heartbeats attached.  Heartbeats
+    # must arrive once per chunk with degree-weighted monotone work,
+    # and the ledger record must round-trip the count.
+    import tempfile
+
+    from repro.observe import (
+        CollectingProgress, active_ledger, disable_ledger, enable_ledger,
+    )
+
+    progress = CollectingProgress()
+    with tempfile.TemporaryDirectory() as tmp:
+        enable_ledger(f"{tmp}/ledger.jsonl")
+        try:
+            observed = execute_plan(
+                plan, graph,
+                options=EngineOptions(workers=4, progress=progress),
+                policy=RunPolicy(supervised=True),
+            )
+            runs = active_ledger().runs()
+        finally:
+            disable_ledger()
+    assert observed.raw_count == total
+    events = progress.events
+    assert len(events) == len(observed.chunk_seconds)
+    assert [e.chunks_done for e in events] == list(range(1, len(events) + 1))
+    assert all(a.work_done <= b.work_done for a, b in zip(events, events[1:]))
+    assert events[-1].done and events[-1].fraction == 1.0
+    assert len(runs) == 1 and runs[0].raw_count == total
+    table.add_note(
+        f"observability (ledger + heartbeats, 4 workers): "
+        f"{len(events)} heartbeats, final throughput "
+        f"{events[-1].throughput:,.0f} emb/s, eta converged to "
+        f"{events[-1].eta_s:.1f}s; ledger run {runs[0].run_id} "
+        f"({runs[0].embedding_count:,} embeddings, "
+        f"{len(runs[0].phases)} phase timings)"
+    )
     return table, speedups, overhead_pct, (sup_s - raw_s) * 1000.0
 
 

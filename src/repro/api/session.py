@@ -20,6 +20,7 @@ it, which is the paper's central usability claim.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import replace
 from typing import Callable, Sequence
@@ -32,6 +33,7 @@ from repro.exceptions import PatternError
 from repro.graph.csr import CSRGraph
 from repro.graph.transform import orient
 from repro.observe.calibration import calibrating, record_plan_execution
+from repro.observe.ledger import note_phase
 from repro.observe.trace import span
 from repro.patterns.conversion import edge_induced_requirements
 from repro.patterns.isomorphism import automorphisms, canonical_code
@@ -150,10 +152,12 @@ class DecoMine:
     def profile(self) -> CostProfile:
         """The graph profile, computed lazily on first use."""
         if self._profile is None:
+            started = time.perf_counter()
             with span("profile", vertices=self.graph.num_vertices):
                 self._profile = profile_graph(
                     self.graph, seed=self._profile_seed
                 )
+            note_phase("profile", time.perf_counter() - started)
         return self._profile
 
     # ------------------------------------------------------------------

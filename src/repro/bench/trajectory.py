@@ -1,0 +1,430 @@
+"""Perf trajectory: a commit-by-commit series of benchmark points.
+
+Each benchmark invocation can append one **trajectory point** — a root
+``BENCH_<seq>.json`` file recording, per workload, the median-of-k wall
+time and its dispersion, plus the git commit and host the point was
+measured on.  The series is the repository's performance memory:
+``repro perf check`` compares the newest point against a baseline and
+flags regressions with a noise-aware threshold, so a slowdown is caught
+by CI before it lands rather than discovered archaeologically.
+
+Detection rule (per workload): a regression is flagged iff
+
+    new_median - base_median >
+        max(threshold_pct/100 * base_median,
+            noise_mult * (base_dispersion + new_dispersion))
+
+i.e. the slowdown must clear *both* a relative bar and a bar scaled to
+the measured run-to-run noise of the two points.  Dispersion is the
+median absolute deviation of the k repeats — robust to the odd outlier
+repeat the way the median itself is.  Back-to-back identical runs
+therefore pass: their medians differ by at most the recorded noise.
+
+Schema (``TRAJECTORY_VERSION`` 1)::
+
+    {"version": 1, "suite": "smoke", "seq": 3, "created": <epoch>,
+     "commit": "abc1234" | null,
+     "host": {"node": ..., "machine": ..., "python": ..., "cpus": ...},
+     "workloads": [{"name": "house@wikivote", "seconds": 0.123,
+                    "dispersion": 0.004, "repeats": 5, "value": 9}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.harness import median, repeat_call, spread
+from repro.bench.reporting import Table
+from repro.exceptions import ReproError
+
+__all__ = [
+    "TRAJECTORY_VERSION",
+    "BENCH_FILE_RE",
+    "WorkloadPoint",
+    "TrajectoryPoint",
+    "Regression",
+    "ComparisonReport",
+    "measure_suite",
+    "smoke_suite",
+    "write_point",
+    "load_points",
+    "load_point",
+    "next_bench_path",
+    "compare_points",
+    "validate_point",
+]
+
+TRAJECTORY_VERSION = 1
+
+#: Trajectory files live at the repository root as ``BENCH_0001.json``,
+#: ``BENCH_0002.json``, ... — the sequence number orders the series.
+BENCH_FILE_RE = re.compile(r"BENCH_(\d{4})\.json\Z")
+
+#: Default regression bars (see module docstring for the rule).
+DEFAULT_THRESHOLD_PCT = 20.0
+DEFAULT_NOISE_MULT = 3.0
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One workload's measurement inside a trajectory point."""
+
+    name: str
+    seconds: float
+    dispersion: float
+    repeats: int
+    value: object = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "dispersion": self.dispersion,
+            "repeats": self.repeats,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "WorkloadPoint":
+        return cls(
+            name=str(record["name"]),
+            seconds=float(record["seconds"]),
+            dispersion=float(record.get("dispersion", 0.0)),
+            repeats=int(record.get("repeats", 1)),
+            value=record.get("value"),
+        )
+
+
+@dataclass
+class TrajectoryPoint:
+    """One ``BENCH_<seq>.json`` file: a suite measured at one commit."""
+
+    suite: str
+    workloads: list[WorkloadPoint]
+    created: float = 0.0
+    commit: str | None = None
+    host: dict = field(default_factory=dict)
+    seq: int | None = None
+
+    def workload(self, name: str) -> WorkloadPoint | None:
+        for point in self.workloads:
+            if point.name == name:
+                return point
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TRAJECTORY_VERSION,
+            "suite": self.suite,
+            "seq": self.seq,
+            "created": self.created,
+            "commit": self.commit,
+            "host": dict(self.host),
+            "workloads": [w.to_dict() for w in self.workloads],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TrajectoryPoint":
+        errors = validate_point(record)
+        if errors:
+            raise ReproError(
+                "invalid trajectory point: " + "; ".join(errors)
+            )
+        return cls(
+            suite=str(record["suite"]),
+            workloads=[
+                WorkloadPoint.from_dict(w) for w in record["workloads"]
+            ],
+            created=float(record.get("created", 0.0)),
+            commit=record.get("commit"),
+            host=dict(record.get("host", {})),
+            seq=record.get("seq"),
+        )
+
+
+def validate_point(record: object) -> list[str]:
+    """Schema-check one trajectory dict; returns human-readable errors."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"expected a JSON object, got {type(record).__name__}"]
+    version = record.get("version")
+    if version != TRAJECTORY_VERSION:
+        errors.append(
+            f"version must be {TRAJECTORY_VERSION}, got {version!r}"
+        )
+    if not isinstance(record.get("suite"), str) or not record.get("suite"):
+        errors.append("suite must be a non-empty string")
+    workloads = record.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append("workloads must be a non-empty list")
+        workloads = []
+    for i, workload in enumerate(workloads):
+        if not isinstance(workload, dict):
+            errors.append(f"workloads[{i}] must be an object")
+            continue
+        if not isinstance(workload.get("name"), str):
+            errors.append(f"workloads[{i}].name must be a string")
+        for key in ("seconds", "dispersion"):
+            value = workload.get(key, 0.0)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"workloads[{i}].{key} must be a non-negative number"
+                )
+        repeats = workload.get("repeats", 1)
+        if not isinstance(repeats, int) or repeats < 1:
+            errors.append(f"workloads[{i}].repeats must be a positive int")
+    host = record.get("host", {})
+    if not isinstance(host, dict):
+        errors.append("host must be an object")
+    commit = record.get("commit")
+    if commit is not None and not isinstance(commit, str):
+        errors.append("commit must be a string or null")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Measuring
+# ----------------------------------------------------------------------
+
+def git_commit(root: "str | os.PathLike | None" = None) -> str | None:
+    """Short hash of HEAD, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def host_info() -> dict:
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+    }
+
+
+def measure_suite(
+    suite: str,
+    workloads: dict[str, Callable[[], object]],
+    repeats: int = 3,
+    root: "str | os.PathLike | None" = None,
+) -> TrajectoryPoint:
+    """Measure every workload ``repeats`` times; median + dispersion.
+
+    Each callable is invoked once, unmeasured, before timing starts, so
+    plan caches and profiling warm exactly as the paper amortizes them
+    (section 8.2) and the repeats measure steady-state execution.
+    """
+    points = []
+    for name, fn in workloads.items():
+        value = fn()  # warmup: populate plan caches / profile
+        seconds = repeat_call(fn, repeats=repeats)
+        points.append(WorkloadPoint(
+            name=name,
+            seconds=median(seconds),
+            dispersion=spread(seconds),
+            repeats=repeats,
+            value=value if isinstance(value, (int, float, str)) else None,
+        ))
+    return TrajectoryPoint(
+        suite=suite,
+        workloads=points,
+        created=time.time(),
+        commit=git_commit(root),
+        host=host_info(),
+    )
+
+
+def smoke_suite() -> dict[str, Callable[[], object]]:
+    """The small CI-safe workload set (`repro perf run --suite smoke`).
+
+    Counting workloads over the built-in dataset analogues, sized so the
+    whole suite (warmup + repeats) finishes in well under a minute.
+    """
+    from repro.bench.workloads import session_for
+    from repro.graph import datasets
+    from repro.patterns import catalog
+
+    wikivote = datasets.load("wikivote")
+    mico = datasets.load("mico")
+
+    def workload(graph, pattern):
+        session = session_for(graph)
+        return lambda: session.get_pattern_count(pattern)
+
+    return {
+        "triangle@wikivote": workload(wikivote, catalog.triangle()),
+        "house@wikivote": workload(wikivote, catalog.house()),
+        "tailed-triangle@mico": workload(mico, catalog.tailed_triangle()),
+    }
+
+
+SUITES: dict[str, Callable[[], dict]] = {"smoke": smoke_suite}
+
+
+# ----------------------------------------------------------------------
+# The on-disk series
+# ----------------------------------------------------------------------
+
+def _bench_files(root: "str | os.PathLike") -> list[tuple[int, Path]]:
+    out = []
+    for entry in Path(root).iterdir():
+        match = BENCH_FILE_RE.match(entry.name)
+        if match:
+            out.append((int(match.group(1)), entry))
+    return sorted(out)
+
+
+def next_bench_path(root: "str | os.PathLike") -> Path:
+    files = _bench_files(root)
+    seq = files[-1][0] + 1 if files else 1
+    return Path(root) / f"BENCH_{seq:04d}.json"
+
+
+def write_point(point: TrajectoryPoint,
+                root: "str | os.PathLike" = ".") -> Path:
+    """Append ``point`` to the series as the next ``BENCH_<seq>.json``."""
+    path = next_bench_path(root)
+    point.seq = int(BENCH_FILE_RE.match(path.name).group(1))
+    path.write_text(json.dumps(point.to_dict(), indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def load_point(path: "str | os.PathLike") -> TrajectoryPoint:
+    try:
+        record = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ReproError(f"no trajectory file at {path}") from None
+    except ValueError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from None
+    return TrajectoryPoint.from_dict(record)
+
+
+def load_points(root: "str | os.PathLike" = ".") -> list[TrajectoryPoint]:
+    """Every ``BENCH_<seq>.json`` under ``root``, in sequence order."""
+    return [load_point(path) for _, path in _bench_files(root)]
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Regression:
+    """One workload that slowed past both bars."""
+
+    name: str
+    base_seconds: float
+    new_seconds: float
+    allowed_delta: float
+
+    @property
+    def slowdown_pct(self) -> float:
+        if self.base_seconds <= 0:
+            return float("inf")
+        return 100.0 * (self.new_seconds - self.base_seconds) / (
+            self.base_seconds
+        )
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.base_seconds:.4f}s -> "
+                f"{self.new_seconds:.4f}s (+{self.slowdown_pct:.1f}%, "
+                f"allowed +{self.allowed_delta:.4f}s)")
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a candidate point against a baseline."""
+
+    baseline: TrajectoryPoint
+    candidate: TrajectoryPoint
+    regressions: list[Regression]
+    compared: list[str]
+    missing: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        table = Table(
+            f"perf check: {self.candidate.suite} vs baseline "
+            f"(commit {self.baseline.commit or '?'} -> "
+            f"{self.candidate.commit or '?'})",
+            ["workload", "baseline", "candidate", "delta", "verdict"],
+        )
+        flagged = {r.name for r in self.regressions}
+        for name in self.compared:
+            base = self.baseline.workload(name)
+            new = self.candidate.workload(name)
+            delta_pct = (
+                100.0 * (new.seconds - base.seconds) / base.seconds
+                if base.seconds else float("inf")
+            )
+            table.add_row(
+                name, f"{base.seconds:.4f}s", f"{new.seconds:.4f}s",
+                f"{delta_pct:+.1f}%",
+                "REGRESSION" if name in flagged else "ok",
+            )
+        for name in self.missing:
+            table.add_note(f"{name}: present in only one point, skipped")
+        if self.ok:
+            table.add_note("no regressions")
+        return table.render()
+
+
+def compare_points(
+    baseline: TrajectoryPoint,
+    candidate: TrajectoryPoint,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+) -> ComparisonReport:
+    """Noise-aware regression check (see module docstring for the rule)."""
+    regressions: list[Regression] = []
+    compared: list[str] = []
+    missing: list[str] = []
+    seen = set()
+    for base in baseline.workloads:
+        new = candidate.workload(base.name)
+        seen.add(base.name)
+        if new is None:
+            missing.append(base.name)
+            continue
+        compared.append(base.name)
+        allowed = max(
+            threshold_pct / 100.0 * base.seconds,
+            noise_mult * (base.dispersion + new.dispersion),
+        )
+        if new.seconds - base.seconds > allowed:
+            regressions.append(Regression(
+                name=base.name,
+                base_seconds=base.seconds,
+                new_seconds=new.seconds,
+                allowed_delta=allowed,
+            ))
+    for new in candidate.workloads:
+        if new.name not in seen:
+            missing.append(new.name)
+    return ComparisonReport(
+        baseline=baseline,
+        candidate=candidate,
+        regressions=regressions,
+        compared=compared,
+        missing=missing,
+    )

@@ -8,6 +8,10 @@ Examples::
     python -m repro fsm --dataset mico --support 20
     python -m repro explain --dataset wikivote --pattern 4-chain
     python -m repro stats --dataset wikivote --pattern house --format json
+    python -m repro count --dataset mico --pattern house --progress --ledger
+    python -m repro history --last 10
+    python -m repro perf run --suite smoke
+    python -m repro perf check
     python -m repro datasets
 
 Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
@@ -18,11 +22,12 @@ Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.api.session import DecoMine
-from repro.exceptions import ExecutionError, PatternError
+from repro.exceptions import ExecutionError, PatternError, ReproError
 from repro.runtime.engine import EngineOptions
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
@@ -119,6 +124,15 @@ def main(argv: list[str] | None = None) -> int:
     count.add_argument("--chrome-trace", metavar="FILE",
                        help="also write the trace as a Chrome trace_event "
                             "file (chrome://tracing / Perfetto)")
+    count.add_argument("--progress", action="store_true",
+                       help="render a live single-line progress bar "
+                            "(chunks done, weighted %%, throughput, ETA); "
+                            "forces supervised chunked execution")
+    count.add_argument("--ledger", metavar="FILE", nargs="?",
+                       const="", default=None,
+                       help="record the run in the append-only run ledger "
+                            "(default .repro/ledger.jsonl or $REPRO_LEDGER; "
+                            "query with `repro history`)")
 
     census = sub.add_parser("census", help="k-motif census")
     _add_graph_args(census)
@@ -161,6 +175,60 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("datasets", help="list built-in dataset analogues")
 
+    history = sub.add_parser(
+        "history",
+        help="query the append-only run ledger (see `count --ledger`)",
+    )
+    history.add_argument("--ledger", metavar="FILE",
+                         help="ledger file (default .repro/ledger.jsonl "
+                              "or $REPRO_LEDGER)")
+    history.add_argument("--format", choices=("table", "json"),
+                         default="table")
+    history.add_argument("--last", type=int, metavar="N",
+                         help="only the N most recent matching runs")
+    history.add_argument("--pattern", help="filter by pattern name")
+    history.add_argument("--graph-fingerprint", metavar="PREFIX",
+                         help="filter by graph-fingerprint prefix")
+    history.add_argument("--since", metavar="WHEN",
+                         help="UNIX timestamp or YYYY-MM-DD[THH:MM:SS]")
+    history.add_argument("--no-aux", action="store_true",
+                         help="hide aux (shrinkage-correction) runs")
+
+    perf = sub.add_parser(
+        "perf",
+        help="perf trajectory: measure, regression-check, validate",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_run = perf_sub.add_parser(
+        "run", help="measure a suite and append a BENCH_<seq>.json point")
+    perf_run.add_argument("--suite", default="smoke",
+                          help="workload suite name (default smoke)")
+    perf_run.add_argument("--repeats", type=int, default=3,
+                          help="timed repeats per workload (default 3)")
+    perf_run.add_argument("--root", default=".",
+                          help="directory holding the BENCH_*.json series")
+    perf_run.add_argument("--slowdown", type=float, default=1.0,
+                          metavar="FACTOR",
+                          help="artificially inflate measured times by "
+                               "FACTOR (regression-detector self-test)")
+    perf_check = perf_sub.add_parser(
+        "check", help="compare the newest point against a baseline")
+    perf_check.add_argument("--baseline", metavar="FILE",
+                            help="baseline point (default: second-newest "
+                                 "BENCH_*.json under --root)")
+    perf_check.add_argument("--candidate", metavar="FILE",
+                            help="candidate point (default: newest "
+                                 "BENCH_*.json under --root)")
+    perf_check.add_argument("--root", default=".")
+    perf_check.add_argument("--threshold-pct", type=float, default=None,
+                            help="relative regression bar (default 20)")
+    perf_check.add_argument("--noise-mult", type=float, default=None,
+                            help="dispersion multiple a slowdown must also "
+                                 "clear (default 3)")
+    perf_validate = perf_sub.add_parser(
+        "validate", help="schema-check trajectory files")
+    perf_validate.add_argument("files", nargs="+", metavar="FILE")
+
     args = parser.parse_args(argv)
 
     if args.command == "datasets":
@@ -171,24 +239,54 @@ def main(argv: list[str] | None = None) -> int:
                   f"|E|={spec.paper_edges:>6}  {spec.description}")
         return 0
 
-    graph = _load_graph(args)
+    if args.command == "history":
+        return _run_history(args)
+
+    if args.command == "perf":
+        return _run_perf(args)
+
+    try:
+        graph = _load_graph(args)
+    except (OSError, KeyError, ValueError, ReproError) as exc:
+        detail = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: cannot load graph: {detail}", file=sys.stderr)
+        return 2
+    try:
+        if getattr(args, "pattern", None):
+            for text in str(args.pattern).split(","):
+                parse_pattern(text)
+    except PatternError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     run_policy = None
-    if getattr(args, "deadline", None) is not None or getattr(
-        args, "resume", None
+    if (
+        getattr(args, "deadline", None) is not None
+        or getattr(args, "resume", None)
+        or getattr(args, "progress", False)
     ):
         from repro.runtime.supervisor import RunBudget, RunPolicy
 
         run_policy = RunPolicy(
-            budget=RunBudget(deadline_s=args.deadline),
-            checkpoint=args.resume,
+            budget=RunBudget(deadline_s=getattr(args, "deadline", None)),
+            checkpoint=getattr(args, "resume", None),
             supervised=True,
         )
+    progress = None
+    if getattr(args, "progress", False):
+        from repro.observe.progress import ConsoleProgress
+
+        progress = ConsoleProgress()
+    if getattr(args, "ledger", None) is not None:
+        from repro.observe.ledger import enable_ledger
+
+        enable_ledger(args.ledger or None)
     session = DecoMine(
         graph,
         cost_model=args.cost_model,
         engine=EngineOptions(
             workers=getattr(args, "workers", 1),
             orientation=getattr(args, "orient", "none"),
+            progress=progress,
         ),
         run_policy=run_policy,
     )
@@ -228,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"supervisor: {metrics.retries} retries, "
                   f"{metrics.resumed_chunks} chunks resumed from checkpoint, "
                   f"{metrics.pool_restarts} pool restarts", file=sys.stderr)
+        if args.ledger is not None:
+            from repro.observe.ledger import disable_ledger
+
+            ledger = disable_ledger()
+            if ledger is not None:
+                print(f"ledger: {ledger.path} (query with `repro history`)",
+                      file=sys.stderr)
         return 0
 
     if args.command == "stats":
@@ -269,6 +374,136 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+def _run_history(args) -> int:
+    """``repro history``: render the run ledger as a table or JSON."""
+    from repro.observe.ledger import Ledger, default_ledger_path
+
+    path = args.ledger or default_ledger_path()
+    try:
+        records = Ledger(path).runs(
+            pattern=args.pattern,
+            graph=args.graph_fingerprint,
+            since=args.since,
+            last=args.last,
+            include_aux=not args.no_aux,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in records], indent=2,
+                         sort_keys=True))
+        return 0
+    if not records:
+        print(f"no runs recorded in {path} (run with `repro count "
+              f"--ledger` or observe.enable_ledger())", file=sys.stderr)
+        return 0
+    from repro.bench.reporting import Table
+
+    table = Table(f"run ledger: {path}",
+                  ["when", "run_id", "pattern", "graph", "count",
+                   "seconds", "chunks", "retries", "ok"])
+    for r in records:
+        count = r.embedding_count
+        table.add_row(
+            r.iso_time,
+            r.run_id,
+            r.pattern + (" (aux)" if r.aux else ""),
+            f"{r.graph.get('name') or '?'}@{r.graph_fingerprint[:8]}",
+            "-" if count is None else f"{count:,}",
+            f"{r.seconds:.3f}",
+            r.chunks,
+            r.metrics.get("retries", 0),
+            "yes" if r.ok else "NO",
+        )
+    print(table.render())
+    return 0
+
+
+def _run_perf(args) -> int:
+    """``repro perf run|check|validate``: the perf trajectory."""
+    from repro.bench import trajectory
+
+    if args.perf_command == "run":
+        suite_factory = trajectory.SUITES.get(args.suite)
+        if suite_factory is None:
+            print(f"error: unknown suite {args.suite!r}; available: "
+                  f"{', '.join(sorted(trajectory.SUITES))}", file=sys.stderr)
+            return 2
+        point = trajectory.measure_suite(
+            args.suite, suite_factory(), repeats=args.repeats,
+            root=args.root,
+        )
+        if args.slowdown != 1.0:
+            # Self-test hook: lets CI prove the detector actually fires.
+            point.workloads = [
+                trajectory.WorkloadPoint(
+                    w.name, w.seconds * args.slowdown, w.dispersion,
+                    w.repeats, w.value,
+                )
+                for w in point.workloads
+            ]
+        path = trajectory.write_point(point, args.root)
+        for w in point.workloads:
+            print(f"{w.name:24} {w.seconds:.4f}s "
+                  f"(±{w.dispersion:.4f}s over {w.repeats} repeats)")
+        print(f"trajectory point: {path} (commit {point.commit or '?'})",
+              file=sys.stderr)
+        return 0
+
+    if args.perf_command == "check":
+        try:
+            if args.candidate:
+                candidate = trajectory.load_point(args.candidate)
+            else:
+                points = trajectory.load_points(args.root)
+                if not points:
+                    print(f"error: no BENCH_*.json under {args.root}; "
+                          f"run `repro perf run` first", file=sys.stderr)
+                    return 2
+                candidate = points[-1]
+            if args.baseline:
+                baseline = trajectory.load_point(args.baseline)
+            else:
+                points = trajectory.load_points(args.root)
+                previous = [p for p in points if p.seq != candidate.seq]
+                if not previous:
+                    print("only one trajectory point exists; nothing to "
+                          "compare against", file=sys.stderr)
+                    return 0
+                baseline = previous[-1]
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kwargs = {}
+        if args.threshold_pct is not None:
+            kwargs["threshold_pct"] = args.threshold_pct
+        if args.noise_mult is not None:
+            kwargs["noise_mult"] = args.noise_mult
+        report = trajectory.compare_points(baseline, candidate, **kwargs)
+        print(report.render())
+        if not report.ok:
+            for regression in report.regressions:
+                print(f"REGRESSION: {regression.describe()}",
+                      file=sys.stderr)
+            return 1
+        return 0
+
+    if args.perf_command == "validate":
+        status = 0
+        for path in args.files:
+            try:
+                trajectory.load_point(path)
+            except ReproError as exc:
+                print(f"{path}: INVALID — {exc}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"{path}: ok")
+        return status
+
+    raise SystemExit(f"unknown perf command {args.perf_command}")
 
 
 def _write_trace(json_path: str | None, chrome_path: str | None) -> None:

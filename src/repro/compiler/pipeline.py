@@ -21,6 +21,7 @@ from repro.compiler.search import SearchOptions, search
 from repro.compiler.specs import Constraint, PlanSpec
 from repro.costmodel import CostModel, CostProfile, get_model
 from repro.exceptions import CompilationError
+from repro.observe.ledger import note_phase
 from repro.observe.trace import span
 from repro.patterns.pattern import Pattern
 
@@ -120,11 +121,13 @@ def compile_pattern(
     started = time.perf_counter()
     with span("compile", pattern=pattern.name or repr(pattern), mode=mode,
               orientation=orientation):
+        search_started = time.perf_counter()
         with span("search"):
             best = search(
                 pattern, profile, model, mode=mode, induced=induced,
                 constraints=constraints, options=options,
             )
+        note_phase("search", time.perf_counter() - search_started)
         with span("codegen"):
             function, source = compile_root(best.root)
         aux_plans: tuple = ()
@@ -145,6 +148,7 @@ def compile_pattern(
                 aux.append((quotient_plan, multiplier))
             aux_plans = tuple(aux)
     elapsed = time.perf_counter() - started
+    note_phase("compile", elapsed)
     _publish_orient_counters(orientation, best.report)
     # Sound fallback: when the orient pass rewrote nothing (the winning
     # plan's restrictions don't align with the rank), the plan records

@@ -20,6 +20,16 @@ Three sub-facilities, usable independently:
   (plan, per-model cost estimate, measured seconds) triples with a
   Spearman rank-correlation report per cost model (the Figure-11
   methodology against live data).
+* :mod:`repro.observe.ledger` — an append-only JSON-lines **run
+  ledger**: with ``enable_ledger()`` active, every ``execute_plan``
+  call appends a record (run id, plan/graph fingerprints, frozen
+  options/policy, metrics, phase rollup); ``Ledger.runs(...)`` queries
+  it and ``repro history`` renders it.
+* :mod:`repro.observe.progress` — live heartbeats for supervised
+  executions: a :class:`ProgressEvent` per completed chunk (weighted
+  work fraction, embeddings, throughput, ETA), surfaced through
+  ``EngineOptions(progress=...)``, the ``repro_progress_*`` gauges, and
+  the ``repro count --progress`` console bar.
 
 See docs/OBSERVABILITY.md for the span/metric naming scheme.
 """
@@ -34,6 +44,14 @@ from repro.observe.calibration import (
     record_plan_execution,
     spearman,
 )
+from repro.observe.ledger import (
+    Ledger,
+    RunRecord,
+    active_ledger,
+    disable_ledger,
+    enable_ledger,
+    graph_fingerprint,
+)
 from repro.observe.metrics import (
     REGISTRY,
     Counter,
@@ -43,6 +61,12 @@ from repro.observe.metrics import (
     counter,
     gauge,
     histogram,
+)
+from repro.observe.progress import (
+    CollectingProgress,
+    ConsoleProgress,
+    ProgressEvent,
+    ProgressReporter,
 )
 from repro.observe.trace import (
     Span,
@@ -83,4 +107,16 @@ __all__ = [
     "active_recorder",
     "record_plan_execution",
     "spearman",
+    # ledger
+    "Ledger",
+    "RunRecord",
+    "enable_ledger",
+    "disable_ledger",
+    "active_ledger",
+    "graph_fingerprint",
+    # progress
+    "ProgressEvent",
+    "ProgressReporter",
+    "CollectingProgress",
+    "ConsoleProgress",
 ]

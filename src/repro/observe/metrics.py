@@ -25,6 +25,8 @@ import json
 import re
 from typing import Iterable
 
+from repro.exceptions import ReproError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -135,6 +137,14 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 for a zero-sample histogram — the
+        exporters must never divide by an empty count)."""
+        if not self._count:
+            return 0.0
+        return self._sum / self._count
+
     def cumulative(self) -> list[int]:
         """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""
         out, running = [], 0
@@ -148,6 +158,7 @@ class Histogram:
             "type": self.kind,
             "count": self._count,
             "sum": self._sum,
+            "mean": self.mean,
             "buckets": {
                 _fmt(bound): cum
                 for bound, cum in zip(self.buckets, self.cumulative())
@@ -181,10 +192,20 @@ class MetricsRegistry:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}"
+                raise ReproError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}; cannot re-register it as a "
+                    f"{cls.kind}"
                 )
+            if cls is Histogram:
+                requested = tuple(sorted(kwargs.get("buckets",
+                                                    DEFAULT_BUCKETS)))
+                if requested != existing.buckets:
+                    raise ReproError(
+                        f"histogram {name!r} is already registered with "
+                        f"buckets {existing.buckets}; cannot re-register "
+                        f"it with buckets {requested}"
+                    )
             return existing
         instrument = cls(name, help, **kwargs)
         self._metrics[name] = instrument

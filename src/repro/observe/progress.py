@@ -1,0 +1,191 @@
+"""Live progress heartbeats for supervised executions.
+
+Long mining runs used to be silent until they finished.  With a
+reporter attached (``EngineOptions(progress=...)``), the execution
+supervisor emits one :class:`ProgressEvent` per completed chunk:
+
+* chunks done / total, and **work** done / total — chunk weights come
+  from the same degree-weighted prefix sums the oriented engine cuts
+  chunk ranges by, so a heavy chunk moves the bar by its real share of
+  the enumeration work, not 1/N;
+* embeddings accumulated so far, throughput (embeddings/s), and a
+  simple work-proportional ETA;
+* elapsed wall time since the supervisor started.
+
+Every heartbeat also refreshes the ``repro_progress_*`` gauges in the
+metrics registry, so a scraper watching ``repro stats``-style exports
+sees a run advance.  Reporters are plain callables; the two shipped
+ones are :class:`CollectingProgress` (tests, programmatic consumers)
+and :class:`ConsoleProgress` (the ``repro count --progress`` one-line
+renderer).  With no reporter attached the supervisor's hot path pays a
+single ``is None`` check per chunk.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressReporter",
+    "CollectingProgress",
+    "ConsoleProgress",
+    "as_heartbeat",
+    "publish_progress_gauges",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One heartbeat: where a supervised execution currently stands."""
+
+    chunks_done: int
+    chunks_total: int
+    work_done: int
+    work_total: int
+    embeddings: int
+    elapsed_s: float
+
+    @property
+    def fraction(self) -> float:
+        """Weighted fraction of enumeration work completed, in [0, 1]."""
+        if self.work_total <= 0:
+            return 1.0 if self.chunks_done >= self.chunks_total else 0.0
+        return min(1.0, self.work_done / self.work_total)
+
+    @property
+    def done(self) -> bool:
+        return self.chunks_done >= self.chunks_total
+
+    @property
+    def throughput(self) -> float:
+        """Embeddings accumulated per second of elapsed wall time."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.embeddings / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float | None:
+        """Work-proportional remaining-time estimate (None before any
+        weighted progress exists to extrapolate from)."""
+        fraction = self.fraction
+        if fraction <= 0.0:
+            return None
+        return max(0.0, self.elapsed_s * (1.0 - fraction) / fraction)
+
+    def to_dict(self) -> dict:
+        return {
+            "chunks_done": self.chunks_done,
+            "chunks_total": self.chunks_total,
+            "work_done": self.work_done,
+            "work_total": self.work_total,
+            "fraction": self.fraction,
+            "embeddings": self.embeddings,
+            "elapsed_s": self.elapsed_s,
+            "throughput": self.throughput,
+            "eta_s": self.eta_s,
+        }
+
+
+#: A progress reporter is any callable taking one :class:`ProgressEvent`.
+ProgressReporter = Callable[[ProgressEvent], None]
+
+
+def publish_progress_gauges(event: ProgressEvent) -> None:
+    """Refresh the ``repro_progress_*`` gauges from one heartbeat."""
+    from repro.observe import metrics as om
+
+    om.gauge("repro_progress_chunks_done",
+             "chunks completed by the running execution").set(
+        event.chunks_done)
+    om.gauge("repro_progress_chunks_total",
+             "chunks planned for the running execution").set(
+        event.chunks_total)
+    om.gauge("repro_progress_work_fraction",
+             "degree-weighted fraction of enumeration work done").set(
+        event.fraction)
+    om.gauge("repro_progress_embeddings",
+             "embeddings accumulated so far").set(event.embeddings)
+    om.gauge("repro_progress_throughput",
+             "embeddings per second of elapsed wall time").set(
+        event.throughput)
+    om.gauge("repro_progress_eta_seconds",
+             "work-proportional remaining-time estimate").set(
+        event.eta_s if event.eta_s is not None else 0.0)
+
+
+def as_heartbeat(reporter: ProgressReporter | None) -> ProgressReporter:
+    """Wrap a reporter so each heartbeat also refreshes the gauges."""
+
+    def heartbeat(event: ProgressEvent) -> None:
+        publish_progress_gauges(event)
+        if reporter is not None:
+            reporter(event)
+
+    return heartbeat
+
+
+class CollectingProgress:
+    """Reporter that keeps every event (tests and programmatic use)."""
+
+    def __init__(self) -> None:
+        self.events: list[ProgressEvent] = []
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def last(self) -> ProgressEvent | None:
+        return self.events[-1] if self.events else None
+
+
+class ConsoleProgress:
+    """Single-line ``\\r``-rewriting renderer (``count --progress``).
+
+    Throttled to ``min_interval_s`` between repaints, except the final
+    heartbeat (all chunks done), which always renders and terminates
+    the line.
+    """
+
+    BAR_WIDTH = 20
+
+    def __init__(self, stream=None, min_interval_s: float = 0.1) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._last_render: float | None = None
+        self._rendered = False
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = time.monotonic()
+        if (
+            not event.done
+            and self._last_render is not None
+            and now - self._last_render < self.min_interval_s
+        ):
+            return
+        self._last_render = now
+        self._rendered = True
+        self.stream.write("\r" + self.render(event))
+        if event.done:
+            self.stream.write("\n")
+        self.stream.flush()
+
+    def render(self, event: ProgressEvent) -> str:
+        filled = round(event.fraction * self.BAR_WIDTH)
+        bar = "#" * filled + "-" * (self.BAR_WIDTH - filled)
+        eta = event.eta_s
+        eta_text = "--" if eta is None else _fmt_seconds(eta)
+        return (f"[{bar}] {event.chunks_done}/{event.chunks_total} chunks "
+                f"{event.fraction:6.1%} | {event.embeddings:,} emb "
+                f"({event.throughput:,.0f}/s) | "
+                f"{_fmt_seconds(event.elapsed_s)} elapsed, eta {eta_text}")
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:02.0f}s"

@@ -99,6 +99,13 @@ class EngineOptions:
         replace symmetry-trimmed adjacency with out-neighborhood
         lookups, and chunk ranges are cut by oriented-degree prefix
         sums so relabeled heavy hitters spread across chunks.
+    progress:
+        Optional :data:`~repro.observe.progress.ProgressReporter`
+        callable.  Supervised executions fire it once per completed
+        chunk with a :class:`~repro.observe.progress.ProgressEvent`
+        (chunks/work done, embeddings so far, throughput, ETA) and
+        refresh the ``repro_progress_*`` gauges.  Unsupervised paths
+        emit no heartbeats.
     """
 
     workers: int = 1
@@ -107,6 +114,7 @@ class EngineOptions:
     cache: bool | int = True
     faults: object | None = None
     orientation: str = "none"
+    progress: object | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -591,6 +599,11 @@ def execute_plan(
         if supervised:
             from repro.runtime.supervisor import Supervisor
 
+            heartbeat = None
+            if options.progress is not None:
+                from repro.observe.progress import as_heartbeat
+
+                heartbeat = as_heartbeat(options.progress)
             ranges = _plan_ranges(
                 exec_graph, orientation,
                 options.workers * options.chunks_per_worker,
@@ -599,6 +612,7 @@ def execute_plan(
                 plan, exec_graph, ctx, ranges, options.workers,
                 options.executor, budget=policy_budget, checkpoint=checkpoint,
                 deadline_at=deadline_at, cache=options.cache,
+                progress=heartbeat,
             ).run()
             accumulators = outcome.accumulators
             chunk_seconds = outcome.chunk_seconds
@@ -649,9 +663,14 @@ def execute_plan(
                     deadline_s=max(0.0, deadline_at - time.monotonic()),
                 )
             aux_policy = _make_policy(aux_budget, checkpoint, supervised)
-            aux_result = execute_plan(
-                aux_plan, graph, options=options, policy=aux_policy,
-            )
+            global _IN_AUX
+            previous_aux, _IN_AUX = _IN_AUX, True
+            try:
+                aux_result = execute_plan(
+                    aux_plan, graph, options=options, policy=aux_policy,
+                )
+            finally:
+                _IN_AUX = previous_aux
             accumulators[COUNT_ACC] = (
                 accumulators.get(COUNT_ACC, 0)
                 - multiplier * aux_result.raw_count
@@ -667,11 +686,26 @@ def execute_plan(
 
     om.histogram("repro_execution_seconds",
                  "whole-execution wall time").observe(elapsed)
-    return ExecutionResult(
+    result = ExecutionResult(
         accumulators, elapsed, plan.info.divisor, chunk_seconds, stats,
         failures=failures, retries=retries, resumed_chunks=resumed_chunks,
         pool_restarts=pool_restarts,
     )
+    # Durable run history: one JSON line per execution when a ledger is
+    # active (a single flag check otherwise).  Aux (global-shrinkage
+    # correction) executions record under their own fingerprints.
+    from repro.observe import ledger as ledger_mod
+
+    ledger_mod.record_run(
+        plan, graph, options, result, budget=policy_budget,
+        checkpoint=checkpoint, supervised=supervised, aux=_IN_AUX,
+    )
+    return result
+
+
+#: True while an aux (shrinkage-correction) plan is being executed, so
+#: its ledger record is distinguishable from the user-facing run's.
+_IN_AUX = False
 
 
 def _make_policy(budget, checkpoint, supervised):

@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.compiler.build import COUNT_ACC
 from repro.exceptions import ExecutionError
 from repro.observe.trace import graft_worker_spans, span
 from repro.runtime.context import ExecutionContext
@@ -305,6 +306,7 @@ class Supervisor:
         checkpoint: CheckpointStore | None = None,
         deadline_at: float | None = None,
         cache: bool | int = True,
+        progress=None,
     ) -> None:
         self.plan = plan
         self.graph = graph
@@ -324,6 +326,46 @@ class Supervisor:
         self.attempts: dict[int, int] = dict.fromkeys(self.bounds, 0)
         self.done: set[int] = set()
         self.out = SupervisorOutcome()
+        # Progress heartbeats: one callable fired per completed chunk,
+        # with chunk weights from the degree-weighted prefix sums (the
+        # same work proxy the oriented engine cuts chunk ranges by) so
+        # the bar advances by a chunk's real share of enumeration work.
+        self.progress = progress
+        self._started = time.monotonic()
+        if progress is not None:
+            self._weights = {
+                index: self._chunk_weight(bounds)
+                for index, bounds in self.bounds.items()
+            }
+            self._work_total = sum(self._weights.values())
+        else:
+            self._weights = {}
+            self._work_total = 0
+        self._work_done = 0
+
+    def _chunk_weight(self, bounds: tuple[int, int]) -> int:
+        """Degree-weighted work estimate for one chunk (out-degree on
+        oriented graphs, total degree otherwise, plus the constant
+        per-vertex loop overhead)."""
+        start, stop = bounds
+        prefix = getattr(self.graph, "out_degree_prefix", None)
+        if prefix is None:
+            prefix = self.graph.degree_prefix
+        return int(prefix[stop]) - int(prefix[start]) + (stop - start)
+
+    def _heartbeat(self) -> None:
+        if self.progress is None:
+            return
+        from repro.observe.progress import ProgressEvent
+
+        self.progress(ProgressEvent(
+            chunks_done=len(self.done),
+            chunks_total=len(self.bounds),
+            work_done=self._work_done,
+            work_total=self._work_total,
+            embeddings=self.out.accumulators.get(COUNT_ACC, 0),
+            elapsed_s=time.monotonic() - self._started,
+        ))
 
     # ------------------------------------------------------------------
     # Entry point
@@ -366,6 +408,9 @@ class Supervisor:
                 self.plan_key, index, self.bounds[index], accumulators,
                 seconds, stats, attempt,
             )
+        if self.progress is not None:
+            self._work_done += self._weights.get(index, 0)
+            self._heartbeat()
 
     def _record_failure(self, index: int, attempt: int, reason: str,
                         exc: BaseException | None) -> bool:

@@ -91,3 +91,178 @@ class TestCommands:
         assert main(["fsm", "--dataset", "cs", "--support", "25"]) == 0
         err = capsys.readouterr().err
         assert "frequent patterns" in err
+
+    def test_count_with_progress_renders_a_bar(self, capsys,
+                                               edge_list_file):
+        assert main(["count", "--graph", edge_list_file,
+                     "--pattern", "triangle", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "chunks" in captured.err
+        assert "eta" in captured.err
+
+
+class TestFriendlyErrors:
+    """Bad paths and bad patterns exit nonzero with a one-line message,
+    never a traceback."""
+
+    def test_missing_graph_file(self, capsys):
+        assert main(["count", "--graph", "/no/such/graph.txt",
+                     "--pattern", "triangle"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot load graph:")
+        assert "Traceback" not in err
+
+    def test_missing_graph_file_for_stats(self, capsys):
+        assert main(["stats", "--graph", "/no/such/graph.txt"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot load graph:")
+        assert "Traceback" not in err
+
+    def test_unreadable_graph_file(self, capsys, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("not an edge list\nat all\n")
+        assert main(["count", "--graph", str(path),
+                     "--pattern", "triangle"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot load graph:")
+
+    def test_unknown_pattern(self, capsys, edge_list_file):
+        assert main(["count", "--graph", edge_list_file,
+                     "--pattern", "dodecahedron"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown pattern" in err
+        assert "Traceback" not in err
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["count", "--dataset", "nope",
+                     "--pattern", "triangle"]) == 2
+        assert capsys.readouterr().err.startswith(
+            "error: cannot load graph:"
+        )
+
+
+class TestHistoryCommand:
+    def test_round_trip_through_count_ledger(self, capsys, edge_list_file,
+                                             small_random_graph, tmp_path):
+        import json
+        import re
+
+        from repro.baselines import reference as ref
+        from repro.patterns import catalog as cat
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["count", "--graph", edge_list_file,
+                     "--pattern", "triangle", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["history", "--ledger", ledger,
+                     "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        record = records[0]
+        expected = ref.count_embeddings(small_random_graph, cat.triangle())
+        assert record["pattern"] == cat.triangle().name
+        assert record["raw_count"] // record["divisor"] == expected
+        assert record["run_id"]
+        assert record["plan_fingerprint"]
+        assert re.fullmatch(r"[0-9a-f]{16}", record["graph_fingerprint"])
+        assert "kernel_stats" in record["metrics"]
+        assert "execute" in record["phases"]
+
+    def test_table_format_and_filters(self, capsys, edge_list_file,
+                                      tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        for pattern in ("triangle", "house"):
+            assert main(["count", "--graph", edge_list_file,
+                         "--pattern", pattern, "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["history", "--ledger", ledger, "--last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "house" in out and "3-clique" not in out
+        assert main(["history", "--ledger", ledger,
+                     "--pattern", "3-clique"]) == 0
+        assert "3-clique" in capsys.readouterr().out
+
+    def test_empty_ledger(self, capsys, tmp_path):
+        assert main(["history", "--ledger",
+                     str(tmp_path / "none.jsonl")]) == 0
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_bad_since_value(self, capsys, tmp_path):
+        assert main(["history", "--ledger", str(tmp_path / "l.jsonl"),
+                     "--since", "yesterday-ish"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPerfCommand:
+    def make_point(self, root, seconds, dispersion=0.0):
+        from repro.bench.trajectory import (
+            TrajectoryPoint, WorkloadPoint, write_point,
+        )
+
+        return write_point(TrajectoryPoint(
+            suite="smoke",
+            workloads=[WorkloadPoint("w", seconds, dispersion, 3)],
+        ), root)
+
+    def test_check_flags_injected_slowdown(self, capsys, tmp_path):
+        self.make_point(tmp_path, 1.0)
+        self.make_point(tmp_path, 1.3)
+        assert main(["perf", "check", "--root", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_check_passes_identical_rerun(self, capsys, tmp_path):
+        self.make_point(tmp_path, 1.0, 0.01)
+        self.make_point(tmp_path, 1.0, 0.01)
+        assert main(["perf", "check", "--root", str(tmp_path)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_with_single_point_is_a_noop(self, capsys, tmp_path):
+        self.make_point(tmp_path, 1.0)
+        assert main(["perf", "check", "--root", str(tmp_path)]) == 0
+        assert "nothing to compare" in capsys.readouterr().err
+
+    def test_check_without_points_errors(self, capsys, tmp_path):
+        assert main(["perf", "check", "--root", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_explicit_baseline_and_candidate(self, capsys, tmp_path):
+        base = self.make_point(tmp_path, 1.0)
+        cand = self.make_point(tmp_path, 2.0)
+        assert main(["perf", "check", "--baseline", str(base),
+                     "--candidate", str(cand)]) == 1
+        capsys.readouterr()
+        assert main(["perf", "check", "--baseline", str(base),
+                     "--candidate", str(base)]) == 0
+
+    def test_validate(self, capsys, tmp_path):
+        good = self.make_point(tmp_path, 1.0)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 0}')
+        assert main(["perf", "validate", str(good)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "validate", str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "INVALID" in captured.err
+
+    def test_run_writes_a_point(self, capsys, tmp_path, monkeypatch):
+        import repro.bench.trajectory as trajectory
+
+        monkeypatch.setitem(
+            trajectory.SUITES, "unit",
+            lambda: {"tiny": lambda: 42},
+        )
+        assert main(["perf", "run", "--suite", "unit", "--repeats", "2",
+                     "--root", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "tiny" in captured.out
+        assert (tmp_path / "BENCH_0001.json").exists()
+        point = trajectory.load_point(tmp_path / "BENCH_0001.json")
+        assert point.workload("tiny").value == 42
+
+    def test_run_unknown_suite(self, capsys, tmp_path):
+        assert main(["perf", "run", "--suite", "nope",
+                     "--root", str(tmp_path)]) == 2
+        assert "unknown suite" in capsys.readouterr().err

@@ -17,6 +17,7 @@ import pytest
 
 from repro import observe
 from repro.baselines import reference
+from repro.exceptions import ReproError
 from repro.compiler.pipeline import compile_pattern
 from repro.costmodel import profile_graph
 from repro.graph.generators import erdos_renyi
@@ -313,8 +314,49 @@ class TestMetrics:
         with pytest.raises(ValueError):
             reg.counter("bad name")
         reg.counter("repro_thing_total")
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="counter.*gauge"):
             reg.gauge("repro_thing_total")
+
+    def test_histogram_bucket_conflict(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_t_seconds", buckets=(0.1, 1.0))
+        # Same buckets (any order) -> get-or-create returns the original.
+        assert reg.histogram("repro_t_seconds", buckets=(1.0, 0.1)) is h
+        with pytest.raises(ReproError, match="buckets"):
+            reg.histogram("repro_t_seconds", buckets=(0.5, 5.0))
+
+    def test_zero_sample_histogram_exports(self):
+        """A never-observed histogram must export cleanly: no NaN mean,
+        no division by an empty count, all-zero bucket lines."""
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_idle_seconds", buckets=(0.1, 1.0))
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert snap["mean"] == 0.0
+        assert all(cum == 0 for cum in snap["buckets"].values())
+        text = reg.to_prometheus()
+        assert 'repro_idle_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_idle_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_idle_seconds_sum 0" in text
+        assert "repro_idle_seconds_count 0" in text
+        assert "nan" not in text.lower()
+        assert "nan" not in reg.to_json().lower()
+
+    def test_snapshot_mid_run_is_consistent(self):
+        """Snapshotting between observations sees a self-consistent view
+        (count == sum of +Inf bucket, mean matches sum/count)."""
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_mid_seconds", buckets=(1.0,))
+        snapshots = []
+        for value in (0.5, 2.0, 0.25):
+            h.observe(value)
+            snapshots.append(reg.snapshot()["repro_mid_seconds"])
+        for i, snap in enumerate(snapshots, start=1):
+            assert snap["count"] == i
+            assert snap["mean"] == pytest.approx(snap["sum"] / i)
+        assert snapshots[-1]["buckets"]["1"] == 2  # 0.5 and 0.25
 
     def test_snapshot_and_json(self):
         reg = MetricsRegistry()

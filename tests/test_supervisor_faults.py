@@ -153,6 +153,51 @@ def test_killed_then_resumed_checkpointed_run_is_exact(env, tmp_path):
     assert second.resumed_chunks == len(set(recorded))
 
 
+def test_worker_death_leaves_no_dangling_spans(env):
+    """Tracing a run whose worker dies mid-span stays well-formed.
+
+    The dead worker's chunk never ships its spans back (its result
+    channel dies with it), so the trace must contain only spans from
+    the surviving attempts — every span closed (non-negative duration,
+    inside the run window) and every parent resolvable — while the
+    retried chunk keeps the count exact.
+    """
+    from repro import observe
+
+    graph, profile = env
+    pattern = PATTERNS["house"]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    faults = FaultPlan((Fault("die", 1), Fault("die", 4)))
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    observe.enable("faulted")
+    try:
+        result = execute_plan(
+            plan, graph, ctx=ctx,
+            workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        )
+    finally:
+        trace = observe.disable()
+    assert result.ok
+    assert result.embedding_count == expected
+    assert result.pool_restarts >= 1
+
+    sids = {span.sid for span in trace.spans}
+    run_end = max(span.end for span in trace.spans)
+    for span in trace.spans:
+        assert span.end >= span.start, f"unclosed span {span!r}"
+        assert span.end <= run_end + 1e-9
+        if span.parent is not None:
+            assert span.parent in sids, f"dangling parent on {span!r}"
+    # Every chunk index appears via a *successful* attempt's span; the
+    # died attempts contribute nothing (their spans were lost with the
+    # worker, not left open).
+    chunk_spans = [s for s in trace.spans if s.name == "chunk"]
+    assert {s.attrs.get("index") for s in chunk_spans} == set(
+        range(NUM_CHUNKS)
+    )
+
+
 def test_faulted_runs_match_fault_free_stats_free(env):
     """Fault-free and faulted runs agree accumulator-for-accumulator."""
     graph, profile = env

@@ -1,0 +1,172 @@
+"""Tests for the perf trajectory (``repro.bench.trajectory``).
+
+Covers the robust summary statistics, the BENCH_<seq>.json series
+(sequencing, round-trips, schema validation), and the noise-aware
+regression rule: an injected >=20% slowdown is flagged, an identical
+back-to-back re-run is not, and a slowdown inside the measured noise
+band is forgiven.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import median, repeat_call, spread
+from repro.bench.trajectory import (
+    TRAJECTORY_VERSION,
+    TrajectoryPoint,
+    WorkloadPoint,
+    compare_points,
+    load_point,
+    load_points,
+    measure_suite,
+    next_bench_path,
+    validate_point,
+    write_point,
+)
+from repro.exceptions import ReproError
+
+
+class TestStatistics:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_spread_is_robust_to_one_outlier(self):
+        tight = [1.0, 1.01, 0.99, 1.0, 1.02]
+        with_outlier = tight + [50.0]
+        assert spread(with_outlier) < 0.1  # stdev would be ~18
+
+    def test_repeat_call_returns_one_time_per_repeat(self):
+        calls = []
+        seconds = repeat_call(lambda: calls.append(1), repeats=4)
+        assert len(seconds) == 4
+        assert len(calls) == 4
+        assert all(s >= 0 for s in seconds)
+        with pytest.raises(ValueError):
+            repeat_call(lambda: None, repeats=0)
+
+
+def point(suite="smoke", seq=None, **workloads) -> TrajectoryPoint:
+    """Build a point from ``name=(seconds, dispersion)`` kwargs."""
+    return TrajectoryPoint(
+        suite=suite,
+        seq=seq,
+        workloads=[
+            WorkloadPoint(name.replace("_", "-"), seconds, dispersion, 3)
+            for name, (seconds, dispersion) in workloads.items()
+        ],
+    )
+
+
+class TestSeries:
+    def test_measure_suite_records_all_workloads(self, tmp_path):
+        result = measure_suite(
+            "unit", {"a": lambda: 1, "b": lambda: 2}, repeats=2,
+            root=tmp_path,  # not a git checkout -> commit is None
+        )
+        assert result.suite == "unit"
+        assert [w.name for w in result.workloads] == ["a", "b"]
+        assert all(w.repeats == 2 for w in result.workloads)
+        assert result.workload("a").value == 1
+        assert result.commit is None
+        assert result.host["cpus"] >= 1
+
+    def test_write_assigns_sequence_numbers(self, tmp_path):
+        first = write_point(point(w=(1.0, 0.0)), tmp_path)
+        second = write_point(point(w=(1.0, 0.0)), tmp_path)
+        assert first.name == "BENCH_0001.json"
+        assert second.name == "BENCH_0002.json"
+        assert next_bench_path(tmp_path).name == "BENCH_0003.json"
+        points = load_points(tmp_path)
+        assert [p.seq for p in points] == [1, 2]
+
+    def test_round_trip_preserves_content(self, tmp_path):
+        original = point(w=(1.25, 0.05), x=(0.5, 0.01))
+        original.commit = "abc1234"
+        path = write_point(original, tmp_path)
+        loaded = load_point(path)
+        assert loaded.suite == original.suite
+        assert loaded.commit == "abc1234"
+        assert loaded.workload("w").seconds == 1.25
+        assert loaded.workload("x").dispersion == 0.01
+
+    def test_load_rejects_missing_and_invalid(self, tmp_path):
+        with pytest.raises(ReproError, match="no trajectory file"):
+            load_point(tmp_path / "BENCH_0001.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_point(bad)
+        bad.write_text(json.dumps({"version": TRAJECTORY_VERSION}))
+        with pytest.raises(ReproError, match="invalid trajectory point"):
+            load_point(bad)
+
+    def test_validate_point_enumerates_errors(self):
+        errors = validate_point({
+            "version": 99,
+            "suite": "",
+            "workloads": [{"name": 5, "seconds": -1, "repeats": 0}],
+            "host": [],
+            "commit": 7,
+        })
+        joined = "\n".join(errors)
+        assert "version" in joined
+        assert "suite" in joined
+        assert "name" in joined
+        assert "seconds" in joined
+        assert "repeats" in joined
+        assert "host" in joined
+        assert "commit" in joined
+        assert validate_point("nope")
+        good = point(w=(1.0, 0.0)).to_dict()
+        assert validate_point(good) == []
+
+
+class TestRegressionRule:
+    def test_injected_20pct_slowdown_is_flagged(self):
+        base = point(house=(1.0, 0.001), tri=(0.5, 0.001))
+        new = point(house=(1.25, 0.001), tri=(0.5, 0.001))
+        report = compare_points(base, new, threshold_pct=20.0)
+        assert not report.ok
+        assert [r.name for r in report.regressions] == ["house"]
+        regression = report.regressions[0]
+        assert regression.slowdown_pct == pytest.approx(25.0)
+        assert "REGRESSION" in report.render()
+
+    def test_identical_rerun_passes(self):
+        base = point(house=(1.0, 0.01), tri=(0.5, 0.005))
+        report = compare_points(base, point(house=(1.0, 0.01),
+                                            tri=(0.5, 0.005)))
+        assert report.ok
+        assert report.regressions == []
+        assert "no regressions" in report.render()
+
+    def test_noisy_workload_gets_a_wider_bar(self):
+        # +30% slowdown, but both points measured with dispersion so
+        # large that 3*(base+new) exceeds the delta: noise, not signal.
+        base = point(flaky=(1.0, 0.1))
+        new = point(flaky=(1.3, 0.1))
+        report = compare_points(base, new, threshold_pct=20.0,
+                                noise_mult=3.0)
+        assert report.ok
+        # The same delta with tight dispersion IS a regression.
+        assert not compare_points(point(flaky=(1.0, 0.001)),
+                                  point(flaky=(1.3, 0.001)),
+                                  threshold_pct=20.0).ok
+
+    def test_speedups_never_flag(self):
+        report = compare_points(point(w=(1.0, 0.0)), point(w=(0.2, 0.0)))
+        assert report.ok
+
+    def test_workloads_in_only_one_point_are_reported_not_compared(self):
+        base = point(old=(1.0, 0.0), shared=(1.0, 0.0))
+        new = point(shared=(1.0, 0.0), brand_new=(9.0, 0.0))
+        report = compare_points(base, new)
+        assert report.ok
+        assert report.compared == ["shared"]
+        assert set(report.missing) == {"old", "brand-new"}
