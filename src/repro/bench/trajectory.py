@@ -274,7 +274,38 @@ def smoke_suite() -> dict[str, Callable[[], object]]:
     }
 
 
-SUITES: dict[str, Callable[[], dict]] = {"smoke": smoke_suite}
+def vectorized_suite() -> dict[str, Callable[[], object]]:
+    """The vectorized executor's trajectory (`--suite vectorized`).
+
+    The smoke workloads re-run on ``executor="vectorized"``, plus the
+    intersection-heavy shapes the batched kernels exist for — so a
+    kernel regression (a lost fast path, an extra gather) moves this
+    series even when the codegen numbers in ``smoke`` hold still.
+    """
+    from repro.bench.workloads import session_for
+    from repro.graph import datasets
+    from repro.patterns import catalog
+
+    wikivote = datasets.load("wikivote")
+    mico = datasets.load("mico")
+
+    def workload(graph, pattern):
+        session = session_for(graph, executor="vectorized")
+        return lambda: session.get_pattern_count(pattern)
+
+    return {
+        "triangle@wikivote": workload(wikivote, catalog.triangle()),
+        "house@wikivote": workload(wikivote, catalog.house()),
+        "tailed-triangle@mico": workload(mico, catalog.tailed_triangle()),
+        "clique4@wikivote": workload(wikivote, catalog.clique(4)),
+        "cycle4@mico": workload(mico, catalog.cycle(4)),
+    }
+
+
+SUITES: dict[str, Callable[[], dict]] = {
+    "smoke": smoke_suite,
+    "vectorized": vectorized_suite,
+}
 
 
 # ----------------------------------------------------------------------

@@ -61,12 +61,14 @@ def profile_for(graph: CSRGraph) -> CostProfile:
 
 
 def session_for(graph: CSRGraph, cost_model: str = "approx_mining",
-                workers: int = 1, orientation: str = "none") -> DecoMine:
-    key = (id(graph), cost_model, workers, orientation)
+                workers: int = 1, orientation: str = "none",
+                executor: str = "codegen") -> DecoMine:
+    key = (id(graph), cost_model, workers, orientation, executor)
     if key not in _SESSIONS:
         _SESSIONS[key] = DecoMine(
             graph, cost_model=cost_model,
-            engine=EngineOptions(workers=workers, orientation=orientation),
+            engine=EngineOptions(workers=workers, orientation=orientation,
+                                 executor=executor),
             profile=profile_for(graph),
         )
     return _SESSIONS[key]

@@ -106,6 +106,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="vertex-induced semantics")
     count.add_argument("--workers", type=int, default=1,
                        help="parallel fork-pool workers (default 1)")
+    count.add_argument("--executor",
+                       choices=("codegen", "interpreter", "vectorized"),
+                       default="codegen",
+                       help="plan backend: exec-compiled Python loops "
+                            "(codegen, default), the IR interpreter, or "
+                            "the array-at-a-time NumPy frontier executor "
+                            "(vectorized; counting plans only)")
     count.add_argument("--orient", choices=("none", "degree", "degeneracy"),
                        default="none",
                        help="execute on an orientation-relabeled graph: "
@@ -285,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         cost_model=args.cost_model,
         engine=EngineOptions(
             workers=getattr(args, "workers", 1),
+            executor=getattr(args, "executor", "codegen"),
             orientation=getattr(args, "orient", "none"),
             progress=progress,
         ),

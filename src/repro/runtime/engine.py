@@ -59,16 +59,21 @@ from repro.observe.trace import (
     span,
     take_worker_spans,
 )
-from repro.runtime import setops
+from repro.runtime import setops, vectorops
 from repro.runtime.context import ExecutionContext
+from repro.runtime.vectorized import run_vectorized
 
 __all__ = [
+    "EXECUTORS",
     "EngineOptions",
     "ExecutionMetrics",
     "ExecutionResult",
     "execute_plan",
     "chunk_ranges",
 ]
+
+#: Valid ``EngineOptions.executor`` choices.
+EXECUTORS = ("codegen", "interpreter", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -83,7 +88,17 @@ class EngineOptions:
         Static chunking granularity: the outer loop is cut into
         ``workers * chunks_per_worker`` ranges drained dynamically.
     executor:
-        ``"codegen"`` (default) or ``"interpreter"``.
+        ``"codegen"`` (default), ``"interpreter"`` or ``"vectorized"``
+        (the array-at-a-time NumPy backend; counting plans only — see
+        :mod:`repro.runtime.vectorized`).
+    shared_graph:
+        Parallel runs only: place the graph's CSR arrays in one
+        ``multiprocessing.shared_memory`` segment that fork-pool workers
+        attach to zero-copy (see :mod:`repro.graph.shared`), instead of
+        relying on copy-on-write heap pages.  The owning run unlinks the
+        segment when its pool is done, surviving pool restarts and
+        worker deaths without leaks.  Default on; ignored for serial
+        runs and on platforms without ``fork``.
     cache:
         Per-chunk set-op memo cache policy, as accepted by
         :class:`~repro.runtime.context.ExecutionContext`: ``True``
@@ -111,6 +126,7 @@ class EngineOptions:
     workers: int = 1
     chunks_per_worker: int = 4
     executor: str = "codegen"
+    shared_graph: bool = True
     cache: bool | int = True
     faults: object | None = None
     orientation: str = "none"
@@ -123,8 +139,11 @@ class EngineOptions:
             raise ExecutionError(
                 f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
             )
-        if self.executor not in ("codegen", "interpreter"):
-            raise ExecutionError(f"unknown executor {self.executor!r}")
+        if self.executor not in EXECUTORS:
+            raise ExecutionError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{EXECUTORS}"
+            )
         if self.orientation not in ORIENTATIONS:
             raise ExecutionError(
                 f"unknown orientation {self.orientation!r}; expected one "
@@ -488,6 +507,8 @@ def _publish_metrics(stats: dict[str, int], chunk_seconds: list[float],
             continue
         if key.startswith("cache_"):
             name = f"repro_setop_cache_{key[6:]}_total"
+        elif key.startswith("vec_"):
+            name = f"repro_vectorized_{key[4:]}_total"
         else:
             name = f"repro_setops_{key}_total"
         om.counter(name, "set-op kernel telemetry (per-run delta)").inc(value)
@@ -593,6 +614,7 @@ def execute_plan(
     with run_span:
         started = time.perf_counter()
         kernel_before = setops.STATS.snapshot()
+        vec_before = vectorops.VSTATS.snapshot()
         cache_before = ctx.cache_counters()
         retries = resumed_chunks = pool_restarts = 0
         failures: list = []
@@ -612,7 +634,7 @@ def execute_plan(
                 plan, exec_graph, ctx, ranges, options.workers,
                 options.executor, budget=policy_budget, checkpoint=checkpoint,
                 deadline_at=deadline_at, cache=options.cache,
-                progress=heartbeat,
+                progress=heartbeat, shared_graph=options.shared_graph,
             ).run()
             accumulators = outcome.accumulators
             chunk_seconds = outcome.chunk_seconds
@@ -622,6 +644,7 @@ def execute_plan(
             resumed_chunks = outcome.resumed_chunks
             pool_restarts = outcome.pool_restarts
             _merge_stats(stats, setops.STATS.delta(kernel_before))
+            _merge_stats(stats, vectorops.VSTATS.delta(vec_before))
         elif options.workers <= 1:
             with span("chunk", index=0) as chunk_span:
                 accumulators = _run_range(plan, exec_graph, ctx, None, None,
@@ -632,6 +655,7 @@ def execute_plan(
             chunk_seconds = [chunk_span.duration
                              or (time.perf_counter() - started)]
             stats = setops.STATS.delta(kernel_before)
+            _merge_stats(stats, vectorops.VSTATS.delta(vec_before))
         else:
             ranges = _plan_ranges(
                 exec_graph, orientation,
@@ -641,6 +665,7 @@ def execute_plan(
                 plan, exec_graph, ctx, ranges, options
             )
             _merge_stats(stats, setops.STATS.delta(kernel_before))
+            _merge_stats(stats, vectorops.VSTATS.delta(vec_before))
         for key, value in ctx.cache_counters().items():
             stats[key] = stats.get(key, 0) + value - cache_before.get(key, 0)
         # This execution's own telemetry goes to the registry before the
@@ -720,7 +745,11 @@ def _run_range(plan, graph, ctx, start, stop, executor) -> dict[str, int]:
         return plan.function(graph, ctx, start, stop)
     if executor == "interpreter":
         return run_interpreter(plan.root, graph, ctx, start, stop)
-    raise ExecutionError(f"unknown executor {executor!r}")
+    if executor == "vectorized":
+        return run_vectorized(plan.root, graph, ctx, start, stop)
+    raise ExecutionError(
+        f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -762,6 +791,14 @@ def _chunk_worker(task: tuple[int, int, int, int]):
     state = _FORK_STATES[_WORKER_TOKEN]
     plan = state["plan"]
     graph = state["graph"]
+    if graph is None:
+        # The run shares its graph: resolve the zero-copy shared-memory
+        # view.  Fork children hit the cache entry seeded by the parent
+        # and attach nothing; a worker forked fresh after a pool restart
+        # does one real attach, then caches it for its lifetime.
+        from repro.graph.shared import attach_cached
+
+        graph = attach_cached(state["graph_descriptor"])
     executor = state["executor"]
     ctx = ExecutionContext(plan.root.num_tables,
                            predicates=state["predicates"],
@@ -773,6 +810,7 @@ def _chunk_worker(task: tuple[int, int, int, int]):
     worker_trace = begin_worker_trace(f"chunk-{index}")
     chunk_started = time.perf_counter()
     kernel_before = setops.STATS.snapshot()
+    vec_before = vectorops.VSTATS.snapshot()
     with span("chunk", index=index, attempt=attempt,
               worker_pid=os.getpid()) as chunk_span:
         ctx.fire_faults(index, attempt)
@@ -781,6 +819,7 @@ def _chunk_worker(task: tuple[int, int, int, int]):
     # window, so the parent's chunk-coverage accounting is exact.
     elapsed = chunk_span.duration or (time.perf_counter() - chunk_started)
     stats = setops.STATS.delta(kernel_before)
+    _merge_stats(stats, vectorops.VSTATS.delta(vec_before))
     _merge_stats(stats, ctx.cache_counters())
     return (index, attempt, accumulators, elapsed, stats,
             take_worker_spans(worker_trace))
@@ -815,6 +854,7 @@ def _run_parallel(plan, graph, ctx, ranges, options: EngineOptions):
         "predicates": list(ctx.predicates), "faults": ctx.faults,
         "cache": options.cache,
     }
+    shared_handle = _share_state_graph(state, options.shared_graph)
     token = _register_fork_state(state)
     try:
         context = mp.get_context("fork")
@@ -836,3 +876,24 @@ def _run_parallel(plan, graph, ctx, ranges, options: EngineOptions):
         return merged, seconds, stats
     finally:
         _release_fork_state(token)
+        if shared_handle is not None:
+            shared_handle.close()
+
+
+def _share_state_graph(state: dict, enabled: bool = True):
+    """Move a fork state's graph into shared memory (when enabled).
+
+    Replaces ``state["graph"]`` with ``None`` plus a picklable
+    ``graph_descriptor``; :func:`_chunk_worker` resolves it via the
+    attach cache.  Returns the owning handle — the caller MUST close it
+    in a ``finally`` spanning the pool's whole lifetime (pool restarts
+    re-fork from the parent and must still find the segment).
+    """
+    if not enabled:
+        return None
+    from repro.graph import shared
+
+    handle = shared.share_graph(state["graph"])
+    state["graph"] = None
+    state["graph_descriptor"] = handle.descriptor
+    return handle

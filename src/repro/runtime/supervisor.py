@@ -307,12 +307,14 @@ class Supervisor:
         deadline_at: float | None = None,
         cache: bool | int = True,
         progress=None,
+        shared_graph: bool = True,
     ) -> None:
         self.plan = plan
         self.graph = graph
         self.predicates = list(ctx.predicates)
         self.faults = ctx.faults
         self.cache = cache
+        self.shared_graph = shared_graph
         self.bounds = dict(enumerate(ranges))
         self.workers = workers
         self.executor = executor
@@ -481,6 +483,12 @@ class Supervisor:
             "faults": self.faults,
             "cache": self.cache,
         }
+        # The shared segment outlives every pool epoch (restarts re-fork
+        # replacement workers that must still resolve the descriptor) and
+        # is unlinked in the same finally that releases the fork state —
+        # worker deaths, ExecutionErrors and deadline bail-outs all pass
+        # through here, so no path can leak it.
+        shared_handle = engine._share_state_graph(state, self.shared_graph)
         token = engine._register_fork_state(state)
         try:
             while pending:
@@ -495,6 +503,8 @@ class Supervisor:
                     return pending  # degrade to in-process serial
         finally:
             engine._release_fork_state(token)
+            if shared_handle is not None:
+                shared_handle.close()
         return []
 
     def _pool_epoch(self, mp_context, token, pending):

@@ -1,12 +1,15 @@
-"""Three-way differential suite: codegen vs interpreter vs brute force.
+"""Four-way differential suite: codegen vs interpreter vs vectorized vs
+brute force.
 
 Every catalog pattern of size <= 5 is compiled through the full pipeline
 (cost-model search, optimization passes, fused bounded kernels, memo
-cache) and executed by BOTH executors on three structurally different
+cache) and executed by ALL executors on three structurally different
 generator graphs; each count must equal the backtracking reference
 enumerator.  Any divergence between the kernels the executors share, the
-fuse pass, or the cache invalidates all three equalities at once, which
-is what makes this suite the lock on the set-operation rewrite.
+fuse pass, or the cache invalidates all the equalities at once, which is
+what makes this suite the lock on the set-operation rewrite — and, since
+the vectorized backend re-implements every set op as a batched NumPy
+kernel, the lock on :mod:`repro.runtime.vectorops` too.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from repro.graph.generators import erdos_renyi, power_law, small_world
 from repro.graph.transform import ORIENTATIONS
 from repro.patterns import catalog
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import EngineOptions, execute_plan
+from repro.runtime.engine import EXECUTORS, EngineOptions, execute_plan
 
 # Dense-ish, skewed, and locally clustered — three different degree/
 # triangle regimes so kernel dispatch exercises both gallop and merge
@@ -69,11 +72,17 @@ def graph_case(request):
 def test_engines_agree_with_reference(name, graph_case):
     graph, profile, expected = graph_case
     plan = compile_pattern(PATTERNS[name], profile)
-    codegen = execute_plan(plan, graph, executor="codegen")
-    interp = execute_plan(plan, graph, executor="interpreter")
-    assert codegen.embedding_count == expected[name]
-    assert interp.embedding_count == expected[name]
-    assert codegen.accumulators == interp.accumulators
+    results = {
+        executor: execute_plan(
+            plan, graph, options=EngineOptions(executor=executor)
+        )
+        for executor in EXECUTORS
+    }
+    for executor, result in results.items():
+        assert result.embedding_count == expected[name], (
+            f"{name} under executor={executor}"
+        )
+        assert result.accumulators == results["codegen"].accumulators
 
 
 def test_cache_disabled_matches_reference(graph_case):
@@ -95,6 +104,69 @@ def test_parallel_execution_agrees(graph_case):
     assert result.embedding_count == expected["house"]
 
 
+class TestSharedGraphLifecycle:
+    """Parallel runs own exactly one shared-memory segment, unlinked by
+    the same ``finally`` that releases the fork state — completion,
+    worker death + pool restart, and error paths all drain it."""
+
+    @pytest.fixture()
+    def case(self, graph_case):
+        graph, profile, expected = graph_case
+        plan = compile_pattern(PATTERNS["house"], profile)
+        from repro.graph import shared
+
+        assert shared.active_segments() == []
+        return graph, plan, expected["house"], shared
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_unlinked_after_normal_completion(self, case, executor):
+        graph, plan, expected, shared = case
+        options = EngineOptions(executor=executor, workers=2)
+        result = execute_plan(plan, graph, options=options)
+        assert result.embedding_count == expected
+        assert shared.active_segments() == []
+
+    def test_unlinked_after_pool_death_and_restart(self, case):
+        from repro.runtime.faults import Fault, FaultPlan
+
+        graph, plan, expected, shared = case
+        options = EngineOptions(
+            workers=2, faults=FaultPlan((Fault("die", 0),))
+        )
+        result = execute_plan(plan, graph, options=options)
+        assert result.metrics.pool_restarts >= 1
+        assert result.embedding_count == expected
+        assert shared.active_segments() == []
+
+    def test_unlinked_after_execution_error(self, case):
+        from repro.exceptions import ExecutionError
+        from repro.runtime.faults import Fault, FaultPlan
+        from repro.runtime.supervisor import RunBudget
+
+        graph, plan, _, shared = case
+        # Every attempt of chunk 0 raises: the chunk exhausts its retry
+        # budget, the run records a permanent failure, and reading the
+        # count raises ExecutionError — with the segment already gone.
+        options = EngineOptions(
+            workers=2, faults=FaultPlan((Fault("raise", 0, attempts=None),))
+        )
+        result = execute_plan(
+            plan, graph, options=options,
+            policy=RunBudget(max_chunk_retries=1),
+        )
+        assert result.failures
+        with pytest.raises(ExecutionError):
+            result.embedding_count
+        assert shared.active_segments() == []
+
+    def test_opt_out_keeps_copy_on_write_path(self, case):
+        graph, plan, expected, shared = case
+        options = EngineOptions(workers=2, shared_graph=False)
+        result = execute_plan(plan, graph, options=options)
+        assert result.embedding_count == expected
+        assert shared.active_segments() == []
+
+
 @pytest.mark.parametrize("orientation", ORIENTATIONS)
 @pytest.mark.parametrize("name", sorted(PATTERNS))
 def test_orientations_agree_with_reference(name, orientation, graph_case):
@@ -108,11 +180,11 @@ def test_orientations_agree_with_reference(name, orientation, graph_case):
     # (options below) must still be count-preserving.
     assert plan.orientation in ("none", orientation)
     counts = []
-    for executor in ("codegen", "interpreter"):
+    for executor in EXECUTORS:
         options = EngineOptions(executor=executor, orientation=orientation)
         result = execute_plan(plan, graph, options=options)
         assert result.embedding_count == expected[name], (
             f"{name} under orientation={orientation} executor={executor}"
         )
         counts.append(result.accumulators)
-    assert counts[0] == counts[1]
+    assert all(count == counts[0] for count in counts)
