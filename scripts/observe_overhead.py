@@ -25,6 +25,10 @@ workload (house counting on mico) with two measurements:
   run and each heartbeat is a dataclass plus six gauge sets per chunk,
   so this is dominated by the same scheduler noise as the end-to-end
   arm.
+* **resource-governor delta** — the same supervised run with an
+  unbounded ``ResourceBudget`` attached (shared cancel token, per-vertex
+  poll ticks, salvage bookkeeping; no watchdog, nothing ever fires) vs
+  plain supervision, gated the same way.
 
 Designed as a CI gate::
 
@@ -199,6 +203,49 @@ def measure_ledger_and_heartbeats(rounds: int) -> dict:
     }
 
 
+def measure_governor(rounds: int) -> dict:
+    """Enabled-mode cost of the resource governor.
+
+    The same fig16 supervised run with an *unbounded*
+    :class:`ResourceBudget` attached vs plain supervision: that prices
+    exactly the always-on machinery — shared-token create/unlink, the
+    per-outer-vertex ``_poll()`` counter tick, and the salvage
+    bookkeeping — without any cancellations or bisections firing.
+    """
+    from repro.runtime.resources import ResourceBudget
+    from repro.runtime.supervisor import RunPolicy
+
+    graph = datasets.load("mc")
+    session = session_for(graph)
+    plan = session.plan_for(catalog.house())
+    plain = RunPolicy(supervised=True)
+    governed = RunPolicy(supervised=True, resources=ResourceBudget())
+    options = EngineOptions(workers=4)
+
+    def sample(policy) -> float:
+        started = time.perf_counter()
+        execute_plan(plan, graph, options=options, policy=policy)
+        return time.perf_counter() - started
+
+    sample(plain)  # warm the fork/pool path outside timing
+    baseline = enabled = float("inf")
+    for index in range(rounds):
+        arms = ("on", "off") if index % 2 == 0 else ("off", "on")
+        for arm in arms:
+            if arm == "off":
+                baseline = min(baseline, sample(plain))
+            else:
+                enabled = min(enabled, sample(governed))
+    return {
+        "governor_workload":
+            "fig16 fault-free: house on mico, 4 workers, governed",
+        "governor_baseline_s": baseline,
+        "governor_enabled_s": enabled,
+        "governor_overhead_ms": (enabled - baseline) * 1000.0,
+        "governor_overhead_pct": (enabled - baseline) / baseline * 100.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5,
@@ -214,18 +261,22 @@ def main(argv: list[str] | None = None) -> int:
 
     report = measure(args.rounds)
     report.update(measure_ledger_and_heartbeats(args.rounds))
+    report.update(measure_governor(args.rounds))
     derived_ok = report["derived_overhead_pct"] < args.threshold_pct
     measured_ok = (report["measured_overhead_pct"] < args.threshold_pct
                    or abs(report["measured_overhead_ms"]) < args.floor_ms)
     ledger_ok = (report["ledger_overhead_pct"] < args.threshold_pct
                  or abs(report["ledger_overhead_ms"]) < args.floor_ms)
-    ok = derived_ok and measured_ok and ledger_ok
+    governor_ok = (report["governor_overhead_pct"] < args.threshold_pct
+                   or abs(report["governor_overhead_ms"]) < args.floor_ms)
+    ok = derived_ok and measured_ok and ledger_ok and governor_ok
     report.update({
         "threshold_pct": args.threshold_pct,
         "floor_ms": args.floor_ms,
         "derived_ok": derived_ok,
         "measured_ok": measured_ok,
         "ledger_ok": ledger_ok,
+        "governor_ok": governor_ok,
         "ok": ok,
     })
 
@@ -244,7 +295,9 @@ def main(argv: list[str] | None = None) -> int:
         f"({report['measured_overhead_pct']:+.2f}%, jitter floor "
         f"{args.floor_ms}ms); ledger+heartbeats "
         f"{report['ledger_overhead_ms']:+.2f}ms "
-        f"({report['ledger_overhead_pct']:+.2f}%) on the 4-worker run",
+        f"({report['ledger_overhead_pct']:+.2f}%) on the 4-worker run; "
+        f"resource governor {report['governor_overhead_ms']:+.2f}ms "
+        f"({report['governor_overhead_pct']:+.2f}%)",
         file=sys.stderr,
     )
     return 0 if ok else 1

@@ -22,6 +22,7 @@ Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -32,7 +33,7 @@ from repro.runtime.engine import EngineOptions
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
 
-__all__ = ["main", "parse_pattern"]
+__all__ = ["main", "parse_pattern", "parse_size"]
 
 
 def parse_pattern(text: str) -> Pattern:
@@ -66,6 +67,32 @@ def parse_pattern(text: str) -> Pattern:
         f"unknown pattern {text!r}; use a catalog name or k-chain/k-cycle/"
         "k-clique/k-star"
     )
+
+
+_SIZE_SUFFIXES = {
+    "": 1, "b": 1,
+    "k": 1024, "kb": 1024,
+    "m": 1024 ** 2, "mb": 1024 ** 2,
+    "g": 1024 ** 3, "gb": 1024 ** 3,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size like ``512m``, ``2G``, ``64MB`` or ``1048576``."""
+    body = text.strip().lower()
+    digits = body.rstrip("kmgb")
+    suffix = body[len(digits):]
+    try:
+        value = float(digits)
+        scale = _SIZE_SUFFIXES[suffix]
+    except (ValueError, KeyError):
+        raise ValueError(
+            f"invalid size {text!r}; use BYTES or a K/M/G suffix "
+            "(e.g. 512m, 2G)"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return int(value * scale)
 
 
 def _load_graph(args):
@@ -131,6 +158,15 @@ def main(argv: list[str] | None = None) -> int:
     count.add_argument("--chrome-trace", metavar="FILE",
                        help="also write the trace as a Chrome trace_event "
                             "file (chrome://tracing / Perfetto)")
+    count.add_argument("--max-rss", metavar="SIZE",
+                       help="per-process memory budget (e.g. 512m, 2G): a "
+                            "watchdog samples worker RSS and cancels + "
+                            "bisects chunks that breach it; forces "
+                            "supervised execution")
+    count.add_argument("--max-frontier-mb", type=float, metavar="MB",
+                       help="frontier byte budget for the vectorized "
+                            "executor: soft breaches shrink the descend "
+                            "slice, hard breaches bisect the chunk")
     count.add_argument("--progress", action="store_true",
                        help="render a live single-line progress bar "
                             "(chunks done, weighted %%, throughput, ETA); "
@@ -265,11 +301,32 @@ def main(argv: list[str] | None = None) -> int:
     except PatternError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    resources = None
+    if (
+        getattr(args, "max_rss", None)
+        or getattr(args, "max_frontier_mb", None) is not None
+    ):
+        from repro.runtime.resources import ResourceBudget
+
+        try:
+            max_rss = parse_size(args.max_rss) if args.max_rss else None
+            max_frontier = (
+                int(args.max_frontier_mb * 1024 ** 2)
+                if args.max_frontier_mb is not None else None
+            )
+            resources = ResourceBudget(
+                max_rss_bytes=max_rss,
+                max_frontier_bytes=max_frontier,
+            )
+        except (ValueError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     run_policy = None
     if (
         getattr(args, "deadline", None) is not None
         or getattr(args, "resume", None)
         or getattr(args, "progress", False)
+        or resources is not None
     ):
         from repro.runtime.supervisor import RunBudget, RunPolicy
 
@@ -277,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
             budget=RunBudget(deadline_s=getattr(args, "deadline", None)),
             checkpoint=getattr(args, "resume", None),
             supervised=True,
+            resources=resources,
         )
     progress = None
     if getattr(args, "progress", False):
@@ -309,16 +367,29 @@ def main(argv: list[str] | None = None) -> int:
             observe.enable("count")
         started = time.perf_counter()
         try:
-            value = session.get_pattern_count(pattern, induced=args.induced)
+            with _sigint_cancels(resources is not None):
+                value = session.get_pattern_count(
+                    pattern, induced=args.induced
+                )
         except ExecutionError as exc:
             print(f"error: {exc}", file=sys.stderr)
             result = session.last_result
             if result is not None:
                 for failure in result.failures:
                     print(f"  {failure.describe()}", file=sys.stderr)
+                cancelled = getattr(result, "cancelled", None)
+                salvage = getattr(result, "salvage", None)
+                if cancelled is not None:
+                    fraction = (salvage or {}).get("fraction")
+                    done = "" if fraction is None else (
+                        f" after {fraction:.0%} of the work"
+                    )
+                    print(f"run cancelled ({cancelled}){done}",
+                          file=sys.stderr)
                 if args.resume:
                     print(f"completed chunks are checkpointed in "
-                          f"{args.resume}; rerun with --resume to continue",
+                          f"{args.resume}; rerun the same command with "
+                          f"--resume {args.resume} to continue",
                           file=sys.stderr)
             return 2
         finally:
@@ -331,9 +402,15 @@ def main(argv: list[str] | None = None) -> int:
         result = session.last_result
         if run_policy is not None and result is not None:
             metrics = result.metrics
-            print(f"supervisor: {metrics.retries} retries, "
-                  f"{metrics.resumed_chunks} chunks resumed from checkpoint, "
-                  f"{metrics.pool_restarts} pool restarts", file=sys.stderr)
+            line = (f"supervisor: {metrics.retries} retries, "
+                    f"{metrics.resumed_chunks} chunks resumed from "
+                    f"checkpoint, {metrics.pool_restarts} pool restarts")
+            if resources is not None:
+                line += (f", {metrics.bisections} bisections, "
+                         f"{metrics.watchdog_kills} watchdog kills, "
+                         f"{metrics.frontier_downshifts} frontier "
+                         f"downshifts")
+            print(line, file=sys.stderr)
         if args.ledger is not None:
             from repro.observe.ledger import disable_ledger
 
@@ -415,6 +492,11 @@ def _run_history(args) -> int:
                    "seconds", "chunks", "retries", "ok"])
     for r in records:
         count = r.embedding_count
+        verdict = "yes" if r.ok else "NO"
+        if getattr(r, "cancelled", None):
+            fraction = (r.salvage or {}).get("fraction")
+            done = "" if fraction is None else f" {fraction:.0%}"
+            verdict = f"NO ({r.cancelled}{done})"
         table.add_row(
             r.iso_time,
             r.run_id,
@@ -424,7 +506,7 @@ def _run_history(args) -> int:
             f"{r.seconds:.3f}",
             r.chunks,
             r.metrics.get("retries", 0),
-            "yes" if r.ok else "NO",
+            verdict,
         )
     print(table.render())
     return 0
@@ -512,6 +594,43 @@ def _run_perf(args) -> int:
         return status
 
     raise SystemExit(f"unknown perf command {args.perf_command}")
+
+
+@contextlib.contextmanager
+def _sigint_cancels(governed: bool):
+    """Route Ctrl-C through the cooperative cancel token.
+
+    The first SIGINT flips the active run's token ("interrupt"): in-flight
+    chunks stop at their next poll, completed chunks stay checkpointed, and
+    the ExecutionError path above prints the salvage fraction plus the
+    resume command.  A second SIGINT — or one arriving when no token is
+    active — falls back to the ordinary KeyboardInterrupt.
+    """
+    if not governed:
+        yield
+        return
+    import signal
+
+    from repro.runtime.resources import request_cancel
+
+    seen = {"count": 0}
+
+    def _handler(signum, frame):
+        seen["count"] += 1
+        if seen["count"] > 1 or not request_cancel("interrupt"):
+            raise KeyboardInterrupt
+        print("\ninterrupt: cancelling run (Ctrl-C again to force quit)",
+              file=sys.stderr)
+
+    try:
+        previous = signal.signal(signal.SIGINT, _handler)
+    except ValueError:  # pragma: no cover - non-main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
 
 
 def _write_trace(json_path: str | None, chrome_path: str | None) -> None:

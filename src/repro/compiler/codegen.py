@@ -70,6 +70,7 @@ def generate_source(root: Root, func_name: str = "_plan") -> str:
         "    _tables = ctx.tables",
         "    _preds = ctx.predicates",
         "    _emit = ctx.emit",
+        "    _poll = ctx.poll_cancel",
     ]
     if any(
         isinstance(node, SetOp) and node.op == "oriented"
@@ -114,10 +115,17 @@ class _Emitter:
             lines.append(f"{pad}{node.target} = {self._scalar_expr(node)}")
         elif isinstance(node, Loop):
             source = node.source
+            poll_here = False
             if outer and not self._outer_loop_done:
                 self._outer_loop_done = True
                 source = f"{source}[start:stop]"
+                # Cooperative-cancellation poll, outer loop only: a
+                # counter tick per vertex (ungoverned runs bind a no-op),
+                # a shared-byte read every cancel_poll_interval ticks.
+                poll_here = True
             lines.append(f"{pad}for {node.var} in {source}.tolist():")
+            if poll_here:
+                lines.append(f"{pad}    _poll()")
             if node.body:
                 self.block(node.body, indent + 1)
             else:  # pragma: no cover - DCE removes empty loops

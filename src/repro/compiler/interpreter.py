@@ -69,12 +69,20 @@ class _Interp:
             env[node.target] = self.scalar_op(node)
         elif isinstance(node, Loop):
             source = env[node.source]
+            body = node.body
+            var = node.var
             if outer:
                 lo = self.start if self.start is not None else 0
                 hi = self.stop if self.stop is not None else len(source)
                 source = source[lo:hi]
-            body = node.body
-            var = node.var
+                # Cooperative-cancellation poll per outer-loop vertex,
+                # mirroring the codegen executor's emitted `_poll()`.
+                poll = self.ctx.poll_cancel
+                for value in source.tolist():
+                    poll()
+                    env[var] = value
+                    self.block(body)
+                return
             for value in source.tolist():
                 env[var] = value
                 self.block(body)

@@ -177,6 +177,11 @@ class RunRecord:
     aux: bool = False
     metrics: dict = field(default_factory=dict)
     phases: dict = field(default_factory=dict)
+    #: Cancel-token reason that stopped the run early, or None.
+    cancelled: str | None = None
+    #: Salvage state of a cancelled/incomplete run (completed work
+    #: fraction, chunk tallies, unfinished bounds), or None.
+    salvage: dict | None = None
 
     @property
     def embedding_count(self) -> int | None:
@@ -210,6 +215,8 @@ class RunRecord:
             "aux": self.aux,
             "metrics": dict(self.metrics),
             "phases": dict(self.phases),
+            "cancelled": self.cancelled,
+            "salvage": dict(self.salvage) if self.salvage else None,
         }
 
     @classmethod
@@ -233,6 +240,10 @@ class RunRecord:
             aux=bool(record.get("aux", False)),
             metrics=dict(record.get("metrics", {})),
             phases=dict(record.get("phases", {})),
+            cancelled=(str(record["cancelled"])
+                       if record.get("cancelled") else None),
+            salvage=(dict(record["salvage"])
+                     if record.get("salvage") else None),
         )
 
 
@@ -406,6 +417,8 @@ def record_run(
         aux=aux,
         metrics=result.metrics.as_dict(),
         phases=phases,
+        cancelled=getattr(result, "cancelled", None),
+        salvage=getattr(result, "salvage", None),
     )
     _ACTIVE.append(record)
     return record

@@ -34,6 +34,11 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "InjectedFault",
+    "ResourceBudget",
+    "ResourceGovernor",
+    "CancelToken",
+    "ChunkCancelled",
+    "MemoryWatchdog",
 ]
 
 _LAZY = {
@@ -55,6 +60,11 @@ _LAZY = {
     "Fault": "repro.runtime.faults",
     "FaultPlan": "repro.runtime.faults",
     "InjectedFault": "repro.runtime.faults",
+    "ResourceBudget": "repro.runtime.resources",
+    "ResourceGovernor": "repro.runtime.resources",
+    "CancelToken": "repro.runtime.resources",
+    "ChunkCancelled": "repro.runtime.resources",
+    "MemoryWatchdog": "repro.runtime.resources",
 }
 
 

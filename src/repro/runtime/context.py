@@ -56,6 +56,13 @@ class ExecutionContext:
         attempt, which is how the deterministic fault-injection harness
         reaches worker processes (the context is the one object every
         chunk rebuilds from fork state).
+    resources:
+        Optional :class:`~repro.runtime.resources.ResourceGovernor` for
+        resource-governed executions.  Installs ``poll_cancel`` — the
+        cooperative-cancellation hook all three executors call at loop
+        boundaries — and the frontier accounting the vectorized backend
+        reads.  Without a governor ``poll_cancel`` is a module-level
+        no-op, so ungoverned runs pay one global load per poll site.
     """
 
     def __init__(
@@ -66,12 +73,15 @@ class ExecutionContext:
         naive_tables: bool = False,
         cache: SetOpCache | bool | int | None = True,
         faults=None,
+        resources=None,
     ) -> None:
         table_cls = NaiveTable if naive_tables else ShrinkageTable
         self.tables = [table_cls() for _ in range(num_tables)]
         self.predicates = list(predicates)
         self.emit = emit if emit is not None else _ignore_emit
         self.faults = faults
+        self.resources = resources
+        self.poll_cancel = resources.poll if resources is not None else _no_poll
         self.accumulators: dict[str, int] = {}
         # Set-operation namespace used by generated code.
         self.vs = vs
@@ -116,3 +126,7 @@ class ExecutionContext:
 
 def _ignore_emit(index: int, vertices: tuple[int, ...], count: int) -> None:
     """Default sink for counting-only executions."""
+
+
+def _no_poll() -> None:
+    """Default cancel-poll hook for resource-ungoverned executions."""

@@ -37,6 +37,7 @@ balance, from which the multi-core speedup curve follows.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import time
@@ -166,6 +167,9 @@ class ExecutionMetrics:
     resumed_chunks: int = 0
     pool_restarts: int = 0
     failures: int = 0
+    bisections: int = 0
+    watchdog_kills: int = 0
+    frontier_downshifts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -191,6 +195,9 @@ class ExecutionMetrics:
             "resumed_chunks": self.resumed_chunks,
             "pool_restarts": self.pool_restarts,
             "failures": self.failures,
+            "bisections": self.bisections,
+            "watchdog_kills": self.watchdog_kills,
+            "frontier_downshifts": self.frontier_downshifts,
         }
 
 
@@ -226,18 +233,33 @@ class ExecutionResult:
         retries: int = 0,
         resumed_chunks: int = 0,
         pool_restarts: int = 0,
+        cancelled: str | None = None,
+        salvage: dict | None = None,
+        bisections: int = 0,
+        watchdog_kills: int = 0,
+        frontier_downshifts: int = 0,
     ) -> None:
         self.accumulators = accumulators
         self.seconds = seconds
         self.divisor = divisor
         self.chunk_seconds = list(chunk_seconds) if chunk_seconds else []
         self.failures = list(failures) if failures else []
+        #: Cancel reason that stopped the run early ("deadline" |
+        #: "interrupt" | "watchdog"), or None for a run-to-completion.
+        self.cancelled = cancelled
+        #: Salvage state of a cancelled/incomplete run: completed work
+        #: ``fraction`` (degree-weighted), ``chunks_done``/``chunks_total``
+        #: and the ``unfinished`` chunk bounds; None on clean runs.
+        self.salvage = salvage
         self.metrics = ExecutionMetrics(
             kernel_stats=MappingProxyType(dict(kernel_stats or {})),
             retries=retries,
             resumed_chunks=resumed_chunks,
             pool_restarts=pool_restarts,
             failures=len(self.failures),
+            bisections=bisections,
+            watchdog_kills=watchdog_kills,
+            frontier_downshifts=frontier_downshifts,
         )
 
     @property
@@ -296,6 +318,15 @@ class ExecutionResult:
     def describe(self) -> str:
         """Human-readable run summary, self-explanatory even on failure."""
         m = self.metrics
+        salvage_lines = []
+        if self.cancelled is not None or self.salvage is not None:
+            salvage = self.salvage or {}
+            salvage_lines.append(
+                f"cancelled: {self.cancelled or 'no'} — salvaged "
+                f"{salvage.get('fraction', 0.0):.1%} of the work "
+                f"({salvage.get('chunks_done', 0)}/"
+                f"{salvage.get('chunks_total', 0)} chunks)"
+            )
         lines = [
             f"{'ok' if self.ok else 'INCOMPLETE'}: raw count "
             f"{self.raw_count:,} / divisor {self.divisor} in "
@@ -307,6 +338,13 @@ class ExecutionResult:
             f"kernels: {m.kernel_calls:,} set-op calls, cache hit rate "
             f"{m.cache_hit_rate:.1%}",
         ]
+        lines.extend(salvage_lines)
+        if m.bisections:
+            lines.append(
+                f"resources: {m.bisections} bisection(s), "
+                f"{m.watchdog_kills} watchdog kill(s), "
+                f"{m.frontier_downshifts} frontier downshift(s)"
+            )
         for failure in self.failures[:5]:
             lines.append(f"  {failure.describe()}")
         if len(self.failures) > 5:
@@ -458,19 +496,27 @@ def _resolve_options(options, workers, chunks_per_worker, executor,
 
 def _resolve_policy(policy, checkpoint, supervised):
     """Normalize (RunPolicy | RunBudget | None, legacy kwargs) into the
-    (budget, checkpoint, supervised) triple the engine works with."""
+    (budget, checkpoint, supervised, resources) tuple the engine works
+    with."""
+    from repro.runtime.resources import ResourceBudget
     from repro.runtime.supervisor import CheckpointStore, RunBudget, RunPolicy
 
-    budget = policy_checkpoint = policy_supervised = None
+    budget = policy_checkpoint = policy_supervised = resources = None
     if isinstance(policy, RunBudget):
         budget = policy
     elif isinstance(policy, RunPolicy):
         budget = policy.budget
         policy_checkpoint = policy.checkpoint
         policy_supervised = policy.supervised
+        resources = policy.resources
     elif policy is not None:
         raise ExecutionError(
             f"policy must be a RunPolicy or RunBudget, got {policy!r}"
+        )
+    if resources is not None and not isinstance(resources, ResourceBudget):
+        raise ExecutionError(
+            f"RunPolicy.resources must be a ResourceBudget, got "
+            f"{resources!r}"
         )
     if checkpoint is not None or supervised is not None:
         warnings.warn(
@@ -486,12 +532,15 @@ def _resolve_policy(policy, checkpoint, supervised):
         supervised = policy_supervised
     if checkpoint is not None and not hasattr(checkpoint, "record"):
         checkpoint = CheckpointStore(checkpoint)
-    return budget, checkpoint, supervised
+    return budget, checkpoint, supervised, resources
 
 
 def _publish_metrics(stats: dict[str, int], chunk_seconds: list[float],
                      retries: int, resumed_chunks: int, pool_restarts: int,
-                     num_failures: int) -> None:
+                     num_failures: int, bisections: int = 0,
+                     watchdog_kills: int = 0, frontier_downshifts: int = 0,
+                     cancelled: str | None = None,
+                     salvage_fraction: float | None = None) -> None:
     """Fold one execution's telemetry delta into the global registry.
 
     Batched per run (not per kernel call), so the cost is a handful of
@@ -524,6 +573,25 @@ def _publish_metrics(stats: dict[str, int], chunk_seconds: list[float],
     if num_failures:
         om.counter("repro_chunk_failures_total",
                    "chunks that exhausted recovery").inc(num_failures)
+    if bisections:
+        om.counter("repro_resource_bisections_total",
+                   "chunk bisections after memory/timeout casualties"
+                   ).inc(bisections)
+    if watchdog_kills:
+        om.counter("repro_resource_watchdog_kills_total",
+                   "hard-RSS cancellations by the memory watchdog"
+                   ).inc(watchdog_kills)
+    if frontier_downshifts:
+        om.counter("repro_resource_frontier_downshifts_total",
+                   "soft-watermark frontier-cap downshifts"
+                   ).inc(frontier_downshifts)
+    if cancelled is not None:
+        om.counter("repro_resource_cancellations_total",
+                   "runs stopped early through the cancel token").inc()
+    if salvage_fraction is not None:
+        om.gauge("repro_resource_salvage_fraction",
+                 "completed work fraction of the last incomplete run"
+                 ).set(float(salvage_fraction))
     chunk_hist = om.histogram("repro_chunk_seconds", "per-chunk wall time")
     for seconds in chunk_seconds:
         chunk_hist.observe(seconds)
@@ -568,7 +636,7 @@ def execute_plan(
     """
     options = _resolve_options(options, workers, chunks_per_worker, executor,
                                cache, faults)
-    policy_budget, checkpoint, supervised = _resolve_policy(
+    policy_budget, checkpoint, supervised, resources = _resolve_policy(
         policy, checkpoint, supervised
     )
     if ctx is None:
@@ -582,6 +650,7 @@ def execute_plan(
         )
     if plan.mode == "emit" and (
         policy_budget is not None or checkpoint is not None
+        or resources is not None
     ):
         raise ExecutionError(
             "supervised execution re-runs chunks and would re-deliver "
@@ -593,8 +662,15 @@ def execute_plan(
             options.workers > 1
             or policy_budget is not None
             or checkpoint is not None
+            or resources is not None
             or ctx.faults is not None
         ) and plan.mode != "emit"
+    if resources is not None and not supervised:
+        raise ExecutionError(
+            "resource-governed execution needs the supervisor (token "
+            "lifecycle, bisection); drop RunPolicy(supervised=False) or "
+            "the resource budget"
+        )
 
     orientation = _effective_orientation(plan, options)
     # orient() memoizes per (graph, mode), so repeated executions — and
@@ -606,17 +682,44 @@ def execute_plan(
     if policy_budget is not None and policy_budget.deadline_s is not None:
         deadline_at = time.monotonic() + policy_budget.deadline_s
 
+    # Resource governor: one cancel token per governed execution, owned
+    # here (created before the span, unlinked in the finally below) and
+    # exposed to SIGINT handlers through the active-token slot.
+    governor = None
+    gov_token = None
+    saved_resources = None
+    if resources is not None:
+        from repro.runtime.resources import (
+            CancelToken,
+            ResourceGovernor,
+            set_active_token,
+        )
+
+        gov_token = CancelToken.create()
+        governor = ResourceGovernor(resources, gov_token)
+        set_active_token(gov_token)
+        saved_resources = (ctx.resources, ctx.poll_cancel)
+        ctx.resources = governor
+        ctx.poll_cancel = governor.poll
+
     run_span = span(
         "execute", pattern=plan.pattern.name or repr(plan.pattern),
         mode=plan.mode, workers=options.workers, executor=options.executor,
         supervised=bool(supervised), orientation=orientation,
     )
-    with run_span:
+    gov_scope = (
+        _GovernorScope(ctx, saved_resources, gov_token)
+        if governor is not None else contextlib.nullcontext()
+    )
+    with gov_scope, run_span:
         started = time.perf_counter()
         kernel_before = setops.STATS.snapshot()
         vec_before = vectorops.VSTATS.snapshot()
         cache_before = ctx.cache_counters()
         retries = resumed_chunks = pool_restarts = 0
+        bisections = watchdog_kills = frontier_downshifts = 0
+        cancelled = None
+        salvage = None
         failures: list = []
         if supervised:
             from repro.runtime.supervisor import Supervisor
@@ -635,6 +738,7 @@ def execute_plan(
                 options.executor, budget=policy_budget, checkpoint=checkpoint,
                 deadline_at=deadline_at, cache=options.cache,
                 progress=heartbeat, shared_graph=options.shared_graph,
+                resources=governor,
             ).run()
             accumulators = outcome.accumulators
             chunk_seconds = outcome.chunk_seconds
@@ -643,6 +747,22 @@ def execute_plan(
             failures = list(outcome.failures)
             resumed_chunks = outcome.resumed_chunks
             pool_restarts = outcome.pool_restarts
+            cancelled = outcome.cancelled
+            bisections = outcome.bisections
+            watchdog_kills = outcome.watchdog_kills
+            frontier_downshifts = outcome.frontier_downshifts
+            if cancelled is not None or failures:
+                salvage = {
+                    "fraction": (
+                        round(outcome.work_done / outcome.work_total, 6)
+                        if outcome.work_total else 1.0
+                    ),
+                    "chunks_done": outcome.chunks_done,
+                    "chunks_total": outcome.chunks_total,
+                    "unfinished": [
+                        list(f.bounds) for f in outcome.failures[:32]
+                    ],
+                }
             _merge_stats(stats, setops.STATS.delta(kernel_before))
             _merge_stats(stats, vectorops.VSTATS.delta(vec_before))
         elif options.workers <= 1:
@@ -672,7 +792,12 @@ def execute_plan(
         # aux-plan corrections below: each aux execution recurses through
         # execute_plan and publishes its own delta.
         _publish_metrics(stats, chunk_seconds, retries, resumed_chunks,
-                         pool_restarts, len(failures))
+                         pool_restarts, len(failures),
+                         bisections=bisections,
+                         watchdog_kills=watchdog_kills,
+                         frontier_downshifts=frontier_downshifts,
+                         cancelled=cancelled,
+                         salvage_fraction=(salvage or {}).get("fraction"))
         # Globally-counted shrinkage corrections (see
         # CompiledPlan.aux_plans): each quotient pattern's injective count
         # is subtracted once, instead of re-enumerating quotient
@@ -687,7 +812,8 @@ def execute_plan(
                     policy_budget,
                     deadline_s=max(0.0, deadline_at - time.monotonic()),
                 )
-            aux_policy = _make_policy(aux_budget, checkpoint, supervised)
+            aux_policy = _make_policy(aux_budget, checkpoint, supervised,
+                                      resources)
             global _IN_AUX
             previous_aux, _IN_AUX = _IN_AUX, True
             try:
@@ -705,6 +831,12 @@ def execute_plan(
             failures.extend(aux_result.failures)
             resumed_chunks += aux_result.metrics.resumed_chunks
             pool_restarts += aux_result.metrics.pool_restarts
+            bisections += aux_result.metrics.bisections
+            watchdog_kills += aux_result.metrics.watchdog_kills
+            frontier_downshifts += aux_result.metrics.frontier_downshifts
+            cancelled = cancelled or aux_result.cancelled
+            if salvage is None and aux_result.salvage is not None:
+                salvage = aux_result.salvage
         elapsed = time.perf_counter() - started
 
     from repro.observe import metrics as om
@@ -714,7 +846,9 @@ def execute_plan(
     result = ExecutionResult(
         accumulators, elapsed, plan.info.divisor, chunk_seconds, stats,
         failures=failures, retries=retries, resumed_chunks=resumed_chunks,
-        pool_restarts=pool_restarts,
+        pool_restarts=pool_restarts, cancelled=cancelled, salvage=salvage,
+        bisections=bisections, watchdog_kills=watchdog_kills,
+        frontier_downshifts=frontier_downshifts,
     )
     # Durable run history: one JSON line per execution when a ledger is
     # active (a single flag check otherwise).  Aux (global-shrinkage
@@ -733,11 +867,34 @@ def execute_plan(
 _IN_AUX = False
 
 
-def _make_policy(budget, checkpoint, supervised):
+class _GovernorScope:
+    """Tears a governed execution's resource plumbing back down: clears
+    the SIGINT active-token slot, restores the caller's context hooks,
+    and unlinks the shared cancel-token segment — on every exit path
+    (success, ExecutionError, KeyboardInterrupt)."""
+
+    def __init__(self, ctx, saved_resources, token) -> None:
+        self.ctx = ctx
+        self.saved_resources = saved_resources
+        self.token = token
+
+    def __enter__(self) -> "_GovernorScope":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        from repro.runtime.resources import set_active_token
+
+        set_active_token(None)
+        self.ctx.resources, self.ctx.poll_cancel = self.saved_resources
+        self.token.close()
+        return False
+
+
+def _make_policy(budget, checkpoint, supervised, resources=None):
     from repro.runtime.supervisor import RunPolicy
 
     return RunPolicy(budget=budget, checkpoint=checkpoint,
-                     supervised=supervised)
+                     supervised=supervised, resources=resources)
 
 
 def _run_range(plan, graph, ctx, start, stop, executor) -> dict[str, int]:
@@ -800,10 +957,12 @@ def _chunk_worker(task: tuple[int, int, int, int]):
 
         graph = attach_cached(state["graph_descriptor"])
     executor = state["executor"]
+    governor = state.get("resources")
     ctx = ExecutionContext(plan.root.num_tables,
                            predicates=state["predicates"],
                            cache=state.get("cache", True),
-                           faults=state.get("faults"))
+                           faults=state.get("faults"),
+                           resources=governor)
     # A forked worker inherits the parent's tracing flag; its spans are
     # recorded into a fresh per-chunk trace and shipped back through the
     # result tuple (the parent grafts them into the live trace).
@@ -813,6 +972,10 @@ def _chunk_worker(task: tuple[int, int, int, int]):
     vec_before = vectorops.VSTATS.snapshot()
     with span("chunk", index=index, attempt=attempt,
               worker_pid=os.getpid()) as chunk_span:
+        # Park immediately if the run was cancelled between dispatch and
+        # pickup — no point starting a chunk the supervisor will discard.
+        if governor is not None:
+            governor.check_cancel()
         ctx.fire_faults(index, attempt)
         accumulators = _run_range(plan, graph, ctx, start, stop, executor)
     # One clock: under tracing the chunk's reported seconds ARE the span

@@ -14,7 +14,12 @@ injects three fault kinds into chosen chunks of a chunked execution:
   of an OOM kill.  Outside a disposable worker (``allow_exit=False``,
   the supervisor's in-process serial path) the death is simulated with
   an :class:`InjectedFault` instead, so the harness never kills the
-  test process itself.
+  test process itself;
+* ``"oom"``  — a real :class:`MemoryError` raised inside the chunk, the
+  analogue of an allocation failure on a ballooning chunk.  This is the
+  deterministic trigger for the supervisor's chunk-bisection ladder:
+  bisected halves get *fresh* chunk indices, so a first-attempt oom
+  fault never follows them and the split ranges complete exactly.
 
 Faults fire when a chunk *starts an attempt*: the plan travels into the
 chunk worker on the :class:`~repro.runtime.context.ExecutionContext`
@@ -41,7 +46,7 @@ __all__ = ["Fault", "FaultPlan", "InjectedFault", "DEATH_EXIT_CODE"]
 #: Exit status used by ``"die"`` faults — recognizable in worker reaping.
 DEATH_EXIT_CODE = 73
 
-_KINDS = ("raise", "delay", "die")
+_KINDS = ("raise", "delay", "die", "oom")
 
 
 class InjectedFault(RuntimeError):
@@ -99,6 +104,7 @@ class FaultPlan:
         death_rate: float = 0.0,
         delay_rate: float = 0.0,
         delay_s: float = 0.01,
+        oom_rate: float = 0.0,
         attempts: tuple[int, ...] | None = (1,),
     ) -> "FaultPlan":
         """Roll each fault kind independently per chunk from ``seed``."""
@@ -114,6 +120,10 @@ class FaultPlan:
                 faults.append(Fault("raise", chunk, attempts))
             if rng.random() < death_rate:
                 faults.append(Fault("die", chunk, attempts))
+            # Guarded so a zero rate consumes no rng draw: schedules
+            # produced by pre-oom seeds stay byte-identical.
+            if oom_rate and rng.random() < oom_rate:
+                faults.append(Fault("oom", chunk, attempts))
         return cls(tuple(faults))
 
     def for_chunk(self, chunk: int) -> tuple[Fault, ...]:
@@ -142,4 +152,12 @@ class FaultPlan:
                 raise InjectedFault(
                     f"injected worker death in chunk {chunk} "
                     f"(attempt {attempt}, simulated in-process)"
+                )
+            elif fault.kind == "oom":
+                # A genuine MemoryError (not InjectedFault): the
+                # supervisor's bisection ladder classifies on the real
+                # exception type, exactly as a ballooning chunk raises.
+                raise MemoryError(
+                    f"injected allocation failure in chunk {chunk} "
+                    f"(attempt {attempt})"
                 )

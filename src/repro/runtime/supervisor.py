@@ -13,21 +13,38 @@ Recovery ladder, mildest first:
 
 1. **Chunk exception** — the worker survives; the chunk is requeued
    with backoff until ``RunBudget.max_chunk_retries`` is exhausted.
-2. **Worker death / chunk timeout** — detected by a pool health check
-   (worker pid set or exit codes changed) or an ``AsyncResult`` that
-   outlives ``chunk_timeout_s``.  ``multiprocessing.Pool`` replaces
-   dead workers but silently loses their in-flight task, so the
-   supervisor drains finished results, terminates the pool, and
-   restarts it, re-dispatching every unfinished chunk (each in-flight
-   chunk is charged one attempt — a dispatch that produced no result).
-3. **Pool failure cap** — after ``max_pool_restarts`` restarts the pool
+2. **Memory casualty (bisection)** — a chunk that fails with
+   :class:`MemoryError` (a ballooning frontier, an injected ``"oom"``
+   fault) or a watchdog kill is **bisected**: split at its
+   degree-weighted midpoint (the same prefix sums the engine cuts
+   chunks by) into two fresh half-chunks and requeued, down to
+   ``ResourceBudget.min_chunk_weight`` — finer-grained work instead of
+   retrying the whole chunk until the budget burns out.
+3. **Chunk timeout** — on a resource-governed run the supervisor flips
+   the shared cancel token with reason ``"preempt"``: every in-flight
+   chunk parks itself at its next poll, completed results are drained
+   during ``RunBudget.drain_grace_s`` (healthy work is never thrown
+   away), the wedged chunk is bisected, and the pool is recycled only
+   if a worker is still unresponsive after the grace window.  Without
+   a governor the pool cannot cancel a running task, so the legacy
+   ladder applies: drain finished results, terminate, restart.
+4. **Worker death** — detected by a pool health check (worker pid set
+   or exit codes changed).  ``multiprocessing.Pool`` replaces dead
+   workers but silently loses their in-flight task, so the supervisor
+   drains finished results, terminates the pool, and restarts it,
+   re-dispatching every unfinished chunk (each in-flight chunk is
+   charged one attempt — a dispatch that produced no result).
+5. **Pool failure cap** — after ``max_pool_restarts`` restarts the pool
    is abandoned and remaining chunks degrade to in-process serial
    execution (still retried; ``"die"`` faults are simulated there).
-4. **Retry exhaustion / deadline / retry budget** — the chunk surfaces
-   a structured :class:`ChunkFailure` on
+6. **Retry exhaustion / deadline / retry budget / cancellation** — the
+   chunk surfaces a structured :class:`ChunkFailure` on
    ``ExecutionResult.failures`` instead of crashing the run;
    ``embedding_count`` then refuses with an
-   :class:`~repro.exceptions.ExecutionError`.
+   :class:`~repro.exceptions.ExecutionError`.  Deadline expiry and
+   SIGINT on governed runs cancel cooperatively through the token —
+   no pool teardown — and the outcome carries the completed work
+   fraction (salvage) of everything that did finish.
 
 Checkpointing writes one JSON line per completed chunk (accumulators,
 chunk time, kernel stats, attempts) keyed by a plan fingerprint that
@@ -41,6 +58,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -49,6 +67,7 @@ from repro.compiler.build import COUNT_ACC
 from repro.exceptions import ExecutionError
 from repro.observe.trace import graft_worker_spans, span
 from repro.runtime.context import ExecutionContext
+from repro.runtime.resources import ChunkCancelled, MemoryWatchdog
 
 __all__ = [
     "RunBudget",
@@ -86,6 +105,11 @@ class RunBudget:
         Pool rebuilds tolerated before degrading to serial execution.
     poll_interval_s:
         Supervisor polling granularity on the pool path.
+    drain_grace_s:
+        On resource-governed runs, how long to keep collecting results
+        from token-cancelled in-flight chunks before giving up on them
+        (cooperative preemption needs each worker to reach its next
+        poll site; results that land inside the window are kept).
     """
 
     deadline_s: float | None = None
@@ -96,12 +120,15 @@ class RunBudget:
     backoff_cap_s: float = 1.0
     max_pool_restarts: int = 2
     poll_interval_s: float = 0.005
+    drain_grace_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ExecutionError("deadline_s must be >= 0")
         if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
             raise ExecutionError("chunk_timeout_s must be > 0")
+        if self.drain_grace_s < 0:
+            raise ExecutionError("drain_grace_s must be >= 0")
         if self.max_chunk_retries < 0:
             raise ExecutionError("max_chunk_retries must be >= 0")
         if self.max_retries is not None and self.max_retries < 0:
@@ -130,6 +157,10 @@ class RunPolicy:
     budget: RunBudget | None = None
     checkpoint: "CheckpointStore | str | Path | None" = None
     supervised: bool | None = None
+    #: Optional :class:`~repro.runtime.resources.ResourceBudget` turning
+    #: the run into a resource-governed one (cancel token + watchdog +
+    #: bisection ladder).
+    resources: "object | None" = None
 
 
 @dataclass(frozen=True)
@@ -139,7 +170,9 @@ class ChunkFailure:
     index: int
     bounds: tuple[int, int]
     attempts: int
-    reason: str  # "exception" | "timeout" | "worker-lost" | "deadline" | "retry-budget"
+    # "exception" | "timeout" | "worker-lost" | "deadline" | "retry-budget"
+    # | "cancelled" | "memory" | "watchdog"
+    reason: str
     error: str | None = None
     exc_chain: tuple[str, ...] = ()
 
@@ -282,6 +315,19 @@ class SupervisorOutcome:
     failures: list[ChunkFailure] = field(default_factory=list)
     resumed_chunks: int = 0
     pool_restarts: int = 0
+    #: Cancel-token reason that stopped the run early, or None if it
+    #: ran to completion ("deadline" | "interrupt" | "watchdog").
+    cancelled: str | None = None
+    bisections: int = 0
+    watchdog_kills: int = 0
+    frontier_downshifts: int = 0
+    # Salvage accounting: degree-weighted work and chunk tallies at the
+    # moment the sweep ended (work_done/work_total is the completed
+    # fraction a cancelled run still banked).
+    work_done: int = 0
+    work_total: int = 0
+    chunks_done: int = 0
+    chunks_total: int = 0
 
 
 class Supervisor:
@@ -308,6 +354,7 @@ class Supervisor:
         cache: bool | int = True,
         progress=None,
         shared_graph: bool = True,
+        resources=None,
     ) -> None:
         self.plan = plan
         self.graph = graph
@@ -328,22 +375,30 @@ class Supervisor:
         self.attempts: dict[int, int] = dict.fromkeys(self.bounds, 0)
         self.done: set[int] = set()
         self.out = SupervisorOutcome()
-        # Progress heartbeats: one callable fired per completed chunk,
-        # with chunk weights from the degree-weighted prefix sums (the
-        # same work proxy the oriented engine cuts chunk ranges by) so
-        # the bar advances by a chunk's real share of enumeration work.
+        # The resource governor (None on ungoverned runs): carries the
+        # ResourceBudget and the shared cancel token.
+        self.resources = (
+            resources if resources is not None
+            else getattr(ctx, "resources", None)
+        )
+        # Chunk weights from the degree-weighted prefix sums (the same
+        # work proxy the oriented engine cuts chunk ranges by).  Always
+        # computed: progress heartbeats advance by them, bisection cuts
+        # at their midpoint, and salvage reports work_done/work_total.
         self.progress = progress
         self._started = time.monotonic()
-        if progress is not None:
-            self._weights = {
-                index: self._chunk_weight(bounds)
-                for index, bounds in self.bounds.items()
-            }
-            self._work_total = sum(self._weights.values())
-        else:
-            self._weights = {}
-            self._work_total = 0
+        self._weights = {
+            index: self._chunk_weight(bounds)
+            for index, bounds in self.bounds.items()
+        }
+        self._work_total = sum(self._weights.values())
         self._work_done = 0
+        # Bisected halves get fresh indices past the original chunking
+        # so their checkpoint records never collide with the parents'.
+        self._initial_chunks = len(ranges)
+        self._next_index = len(ranges)
+        # Pids the memory watchdog samples (workers + supervisor).
+        self._watch_pids: list[int] = [os.getpid()]
 
     def _chunk_weight(self, bounds: tuple[int, int]) -> int:
         """Degree-weighted work estimate for one chunk (out-degree on
@@ -373,13 +428,80 @@ class Supervisor:
     # Entry point
     # ------------------------------------------------------------------
     def run(self) -> SupervisorOutcome:
-        self._load_checkpoint()
-        pending = [i for i in sorted(self.bounds) if i not in self.done]
-        if pending and self.workers > 1 and hasattr(os, "fork"):
-            pending = self._run_pool(pending)
-        if pending:
-            self._run_serial(pending)
+        watchdog = self._start_watchdog()
+        timer = self._start_deadline_timer()
+        try:
+            self._load_checkpoint()
+            pending = [i for i in sorted(self.bounds) if i not in self.done]
+            if pending and self.workers > 1 and hasattr(os, "fork"):
+                pending = self._run_pool(pending)
+            if pending:
+                self._run_serial(pending)
+        finally:
+            if timer is not None:
+                timer.cancel()
+            if watchdog is not None:
+                watchdog.stop()
+                self.out.watchdog_kills = watchdog.kills
+                self.out.frontier_downshifts = watchdog.downshifts
+            self.out.work_done = self._work_done
+            self.out.work_total = self._work_total
+            self.out.chunks_done = len(self.done)
+            self.out.chunks_total = len(self.bounds)
         return self.out
+
+    # ------------------------------------------------------------------
+    # Resource-governor plumbing (all no-ops on ungoverned runs)
+    # ------------------------------------------------------------------
+    def _token(self):
+        gov = self.resources
+        return gov.token if gov is not None else None
+
+    def _token_reason(self) -> str | None:
+        token = self._token()
+        if token is None or not token.cancelled:
+            return None
+        return token.reason
+
+    def _cancel(self, reason: str) -> None:
+        token = self._token()
+        if token is not None:
+            token.cancel(reason)
+
+    def _reset_token(self) -> None:
+        token = self._token()
+        if token is not None:
+            token.reset()
+
+    def _start_watchdog(self) -> MemoryWatchdog | None:
+        gov = self.resources
+        if gov is None or gov.token is None or gov.budget.max_rss_bytes is None:
+            return None
+        watchdog = MemoryWatchdog(
+            gov.budget, gov.token, lambda: list(self._watch_pids)
+        )
+        watchdog.start()
+        return watchdog
+
+    def _start_deadline_timer(self) -> threading.Timer | None:
+        """Flip the cancel token when the deadline passes, so in-flight
+        chunks stop cooperatively instead of running to completion and
+        being discarded at the next supervisor poll."""
+        token = self._token()
+        if token is None or self.deadline_at is None:
+            return None
+        timer = threading.Timer(
+            max(0.0, self.deadline_at - time.monotonic()),
+            self._deadline_cancel,
+        )
+        timer.daemon = True
+        timer.start()
+        return timer
+
+    def _deadline_cancel(self) -> None:
+        token = self._token()
+        if token is not None and not token.cancelled:
+            token.cancel("deadline")
 
     # ------------------------------------------------------------------
     # Shared bookkeeping
@@ -410,8 +532,8 @@ class Supervisor:
                 self.plan_key, index, self.bounds[index], accumulators,
                 seconds, stats, attempt,
             )
+        self._work_done += self._weights.get(index, 0)
         if self.progress is not None:
-            self._work_done += self._weights.get(index, 0)
             self._heartbeat()
 
     def _record_failure(self, index: int, attempt: int, reason: str,
@@ -452,18 +574,187 @@ class Supervisor:
     def _load_checkpoint(self) -> None:
         if self.checkpoint is None:
             return
+        leftovers: dict[int, dict] = {}
         for index, record in self.checkpoint.load(self.plan_key).items():
             bounds = self.bounds.get(index)
             if bounds is None or list(bounds) != record.get("bounds"):
+                leftovers[index] = record
                 continue
-            self._record_success(
-                index,
-                int(record.get("attempts", 1)),
-                {k: int(v) for k, v in record.get("accumulators", {}).items()},
-                float(record.get("seconds", 0.0)),
-                {k: int(v) for k, v in record.get("stats", {}).items()},
-                from_checkpoint=True,
+            self._replay_record(index, record)
+        self._adopt_bisected(leftovers)
+
+    def _replay_record(self, index: int, record: dict) -> None:
+        self._record_success(
+            index,
+            int(record.get("attempts", 1)),
+            {k: int(v) for k, v in record.get("accumulators", {}).items()},
+            float(record.get("seconds", 0.0)),
+            {k: int(v) for k, v in record.get("stats", {}).items()},
+            from_checkpoint=True,
+        )
+
+    def _adopt_bisected(self, leftovers: dict[int, dict]) -> None:
+        """Resume completed *bisected* chunks from a prior governed run.
+
+        Bisected halves checkpoint under the same plan key with fresh
+        indices (>= the initial chunk count) and bounds nested inside
+        one original chunk.  For each pending parent whose recorded
+        children tile part of its range without overlap, the parent is
+        replaced by those children (replayed as done) plus fresh chunks
+        covering the gaps, so resume is exact even mid-bisection.
+        Overlapping or malformed records disqualify that parent's
+        adoption and it stays pending whole — the torn-line tolerance
+        of the store extends to torn *splits*.
+        """
+        if not leftovers:
+            return
+        # Reserve every recorded index up front so gap chunks added
+        # below can never collide with a child adopted later.
+        for index in leftovers:
+            self._next_index = max(self._next_index, index + 1)
+        by_parent: dict[int, list[tuple[int, dict]]] = {}
+        for index, record in leftovers.items():
+            if index < self._initial_chunks or index in self.bounds:
+                continue
+            rb = record.get("bounds")
+            if (
+                not isinstance(rb, list) or len(rb) != 2
+                or not all(isinstance(v, int) for v in rb) or rb[0] >= rb[1]
+            ):
+                continue
+            parent = next(
+                (
+                    p for p, (ps, pe) in self.bounds.items()
+                    if p < self._initial_chunks and p not in self.done
+                    and ps <= rb[0] and rb[1] <= pe
+                ),
+                None,
             )
+            if parent is not None:
+                by_parent.setdefault(parent, []).append((index, record))
+        for parent, children in by_parent.items():
+            children.sort(key=lambda item: item[1]["bounds"][0])
+            accepted: list[tuple[int, dict]] = []
+            cursor = None
+            for index, record in children:
+                lo, hi = record["bounds"]
+                if cursor is not None and lo < cursor:
+                    accepted = []  # overlap: stale records, replay none
+                    break
+                accepted.append((index, record))
+                cursor = hi
+            if not accepted:
+                continue
+            start, stop = self.bounds[parent]
+            self._remove_chunk(parent)
+            cursor = start
+            for index, record in accepted:
+                lo, hi = record["bounds"]
+                if cursor < lo:
+                    self._add_chunk((cursor, lo))
+                self._install_chunk(index, (lo, hi))
+                self._replay_record(index, record)
+                cursor = hi
+            if cursor < stop:
+                self._add_chunk((cursor, stop))
+
+    # ------------------------------------------------------------------
+    # Chunk bisection (memory/timeout casualties on governed runs)
+    # ------------------------------------------------------------------
+    def _min_chunk_width(self) -> int:
+        gov = self.resources
+        return gov.budget.min_chunk_width if gov is not None else 1
+
+    def _install_chunk(self, index: int, bounds: tuple[int, int]) -> int:
+        if index not in self._weights:
+            weight = self._chunk_weight(bounds)
+            self._weights[index] = weight
+            self._work_total += weight
+        self.bounds[index] = bounds
+        self.attempts.setdefault(index, 0)
+        self._next_index = max(self._next_index, index + 1)
+        return index
+
+    def _add_chunk(self, bounds: tuple[int, int]) -> int:
+        index = self._next_index
+        self._next_index += 1
+        return self._install_chunk(index, bounds)
+
+    def _remove_chunk(self, index: int) -> None:
+        self.bounds.pop(index, None)
+        self.attempts.pop(index, None)
+        self._work_total -= self._weights.pop(index, 0)
+
+    def _weighted_midpoint(self, start: int, stop: int) -> int:
+        """Vertex where the chunk's degree-weighted work halves (same
+        ``prefix[x] + x`` proxy the engine cuts chunk ranges by),
+        clamped so both halves keep the minimum width."""
+        prefix = getattr(self.graph, "out_degree_prefix", None)
+        if prefix is None:
+            prefix = self.graph.degree_prefix
+
+        def weight(x: int) -> int:
+            return int(prefix[x]) + x
+
+        target = (weight(start) + weight(stop)) // 2
+        lo, hi = start + 1, stop - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if weight(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        width = self._min_chunk_width()
+        return max(start + width, min(lo, stop - width))
+
+    def _bisect(self, index: int) -> list[int] | None:
+        """Split a casualty chunk into two half-work chunks with fresh
+        indices; None if it is already at minimum width."""
+        start, stop = self.bounds[index]
+        width = self._min_chunk_width()
+        if stop - start < 2 * width:
+            return None
+        mid = self._weighted_midpoint(start, stop)
+        self._remove_chunk(index)
+        self.out.bisections += 1
+        return [self._add_chunk((start, mid)), self._add_chunk((mid, stop))]
+
+    def _handle_resource_failure(self, index, attempt, reason, exc,
+                                 queue: dict) -> None:
+        """Bisect a memory/watchdog/timeout casualty into the pool
+        queue; only a minimum-width chunk falls back to whole-chunk
+        retry (and eventually a structured failure)."""
+        self.attempts[index] = max(self.attempts[index], attempt)
+        children = self._bisect(index)
+        if children is not None:
+            now = time.monotonic()
+            for child in children:
+                queue[child] = now
+            return
+        if self._record_failure(index, attempt, reason, exc):
+            queue[index] = time.monotonic() + self.budget.backoff_for(attempt)
+
+    def _serial_resource_failure(self, index, attempt, reason, exc,
+                                 queue: list) -> bool:
+        """Serial-path twin of :meth:`_handle_resource_failure`; True
+        iff ``index`` should be retried in place (children are pushed
+        to the front of the serial queue instead)."""
+        self.attempts[index] = max(self.attempts[index], attempt)
+        children = self._bisect(index)
+        if children is not None:
+            queue[:0] = children
+            return False
+        if self._record_failure(index, attempt, reason, exc):
+            self._backoff_sleep(attempt)
+            return True
+        return False
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        pause = self.budget.backoff_for(attempt)
+        if self.deadline_at is not None:
+            pause = min(pause, max(0.0, self.deadline_at - time.monotonic()))
+        if pause:
+            time.sleep(pause)
 
     # ------------------------------------------------------------------
     # Pool path
@@ -482,6 +773,10 @@ class Supervisor:
             "predicates": self.predicates,
             "faults": self.faults,
             "cache": self.cache,
+            # The governor rides into every worker: its CancelToken maps
+            # the same shared-memory segment post-fork, so one flip in
+            # the supervisor is visible at every executor poll site.
+            "resources": self.resources,
         }
         # The shared segment outlives every pool epoch (restarts re-fork
         # replacement workers that must still resolve the descriptor) and
@@ -493,6 +788,7 @@ class Supervisor:
         try:
             while pending:
                 if self._deadline_expired():
+                    self.out.cancelled = self.out.cancelled or "deadline"
                     self._fail_remaining(pending, "deadline")
                     return []
                 status, pending = self._pool_epoch(mp_context, token, pending)
@@ -521,32 +817,55 @@ class Supervisor:
             initargs=(token,),
         )
         pids = {worker.pid for worker in pool._pool}
+        self._watch_pids = sorted(pids) + [os.getpid()]
         try:
             while queue or inflight:
                 now = time.monotonic()
-                if self._deadline_expired(now):
-                    self._drain(inflight, queue)
+                run_cancel = self._token_reason()
+                if (
+                    run_cancel in ("deadline", "interrupt")
+                    or self._deadline_expired(now)
+                ):
+                    # Run-level stop: cancel cooperatively through the
+                    # token (no pool teardown), keep whatever lands in
+                    # the grace window, fail the rest structurally.
+                    reason = run_cancel or "deadline"
+                    if self._token() is not None:
+                        self._cancel(reason)
+                        self._grace_drain(inflight, queue)
+                    else:
+                        self._drain(inflight, queue)
                     self._fail_remaining(
-                        list(queue) + list(inflight), "deadline"
+                        list(queue) + list(inflight),
+                        "deadline" if reason == "deadline" else "cancelled",
                     )
+                    self.out.cancelled = self.out.cancelled or reason
                     return "done", []
                 progressed = False
-                for index in [i for i, t in queue.items() if t <= now]:
-                    del queue[index]
-                    attempt = self.attempts[index] + 1
-                    result = pool.apply_async(
-                        engine._chunk_worker,
-                        ((index, attempt, *self.bounds[index]),),
-                    )
-                    inflight[index] = (result, now, attempt)
-                    progressed = True
+                if run_cancel is None:
+                    for index in [i for i, t in queue.items() if t <= now]:
+                        del queue[index]
+                        attempt = self.attempts[index] + 1
+                        result = pool.apply_async(
+                            engine._chunk_worker,
+                            ((index, attempt, *self.bounds[index]),),
+                        )
+                        inflight[index] = (result, now, attempt)
+                        progressed = True
                 restart_reason = None
+                timed_out = None
                 for index, (result, started, attempt) in list(inflight.items()):
                     if result.ready():
                         del inflight[index]
                         progressed = True
                         try:
                             self._record_success(*result.get())
+                        except ChunkCancelled as exc:
+                            self._pool_cancelled(index, attempt, exc, queue)
+                        except MemoryError as exc:
+                            self._handle_resource_failure(
+                                index, attempt, "memory", exc, queue
+                            )
                         except Exception as exc:
                             if self._record_failure(
                                 index, attempt, "exception", exc
@@ -559,11 +878,23 @@ class Supervisor:
                         budget.chunk_timeout_s is not None
                         and time.monotonic() - started > budget.chunk_timeout_s
                     ):
-                        # Lost to a silent worker death or wedged: the
-                        # pool cannot cancel a running task, so the whole
-                        # pool is recycled.
                         restart_reason = "timeout"
+                        timed_out = index
                         break
+                if run_cancel == "watchdog" and not progressed:
+                    # Hard RSS breach: every in-flight chunk parks at
+                    # its next poll and is bisected; the pool is then
+                    # recycled so the workers' bloated heaps actually
+                    # go back to the OS (a cancelled chunk frees Python
+                    # objects, not the process's high-water mark).
+                    self._grace_drain(inflight, queue)
+                    self._reset_token()
+                    for index, (result, _s, attempt) in inflight.items():
+                        if index not in self.done:
+                            self._handle_resource_failure(
+                                index, attempt, "watchdog", None, queue
+                            )
+                    return "restart", sorted(queue)
                 if restart_reason is None and inflight:
                     # Health check: a replaced or exited worker means its
                     # in-flight task is lost forever (Pool repopulates
@@ -574,7 +905,27 @@ class Supervisor:
                         or {w.pid for w in alive} != pids
                     ):
                         restart_reason = "worker-lost"
+                if restart_reason == "timeout" and self._token() is not None:
+                    # Cooperative preemption: flip the token so healthy
+                    # in-flight chunks park at their next poll, keep
+                    # every result that lands in the grace window,
+                    # bisect the wedged chunk, and only recycle the
+                    # pool if a worker is still unresponsive afterwards.
+                    self._cancel("preempt")
+                    self._grace_drain(inflight, queue, charge={timed_out})
+                    self._reset_token()
+                    if not inflight:
+                        continue
+                    for index, (result, _s, attempt) in inflight.items():
+                        if index not in self.done:
+                            self._handle_resource_failure(
+                                index, attempt, "timeout", None, queue
+                            )
+                    return "restart", sorted(queue)
                 if restart_reason is not None:
+                    # Ungoverned ladder: the pool cannot cancel a
+                    # running task, so the whole pool is recycled after
+                    # draining finished results.
                     self._drain(inflight, queue)
                     for index, (result, started, attempt) in inflight.items():
                         if index in self.done:
@@ -590,6 +941,63 @@ class Supervisor:
         finally:
             pool.terminate()
             pool.join()
+
+    def _pool_cancelled(self, index, attempt, exc, queue: dict) -> None:
+        """Route one ChunkCancelled pool result by its cancel reason."""
+        reason = getattr(exc, "reason", "interrupt")
+        if reason == "watchdog":
+            self._handle_resource_failure(index, attempt, "watchdog", exc,
+                                          queue)
+        elif reason == "preempt":
+            queue[index] = time.monotonic()  # parked cooperatively
+        else:  # deadline / interrupt: run-level branch fails the rest
+            self.attempts[index] = max(self.attempts[index], attempt)
+            self._fail_remaining(
+                [index], "deadline" if reason == "deadline" else "cancelled"
+            )
+            self.out.cancelled = self.out.cancelled or reason
+
+    def _grace_drain(self, inflight: dict, queue: dict,
+                     charge=frozenset()) -> None:
+        """Wait up to ``drain_grace_s`` for token-cancelled chunks.
+
+        Completed results are recorded — healthy in-flight work is
+        never discarded by a preemption.  Chunks that park with
+        :class:`ChunkCancelled` are requeued uncharged unless listed in
+        ``charge`` (the wedged chunk that caused the preemption), which
+        are bisected or charged a timeout attempt.
+        """
+        deadline = time.monotonic() + self.budget.drain_grace_s
+        while inflight:
+            progressed = False
+            for index, (result, _s, attempt) in list(inflight.items()):
+                if not result.ready():
+                    continue
+                del inflight[index]
+                progressed = True
+                try:
+                    self._record_success(*result.get())
+                except ChunkCancelled as exc:
+                    reason = getattr(exc, "reason", "interrupt")
+                    if reason == "watchdog" or index in charge:
+                        self._handle_resource_failure(
+                            index, attempt,
+                            "watchdog" if reason == "watchdog" else "timeout",
+                            exc, queue,
+                        )
+                    else:
+                        queue[index] = 0.0  # parked cooperatively
+                except MemoryError as exc:
+                    self._handle_resource_failure(
+                        index, attempt, "memory", exc, queue
+                    )
+                except Exception as exc:
+                    if self._record_failure(index, attempt, "exception", exc):
+                        queue[index] = 0.0
+            if not inflight or time.monotonic() >= deadline:
+                return
+            if not progressed:
+                time.sleep(self.budget.poll_interval_s)
 
     def _drain(self, inflight: dict, queue: dict) -> None:
         """Consume already-finished results before abandoning a pool."""
@@ -609,11 +1017,16 @@ class Supervisor:
     def _run_serial(self, pending: list[int]) -> None:
         from repro.runtime.engine import _merge_stats, _run_range
 
-        budget = self.budget
-        for position, index in enumerate(pending):
+        self._watch_pids = [os.getpid()]
+        queue = list(pending)  # mutable: bisection pushes halves front
+        while queue:
+            index = queue.pop(0)
+            if index in self.done or index not in self.bounds:
+                continue
             while True:
                 if self._deadline_expired():
-                    self._fail_remaining(pending[position:], "deadline")
+                    self.out.cancelled = self.out.cancelled or "deadline"
+                    self._fail_remaining([index, *queue], "deadline")
                     return
                 attempt = self.attempts[index] + 1
                 chunk_ctx = ExecutionContext(
@@ -621,11 +1034,14 @@ class Supervisor:
                     predicates=self.predicates,
                     faults=self.faults,
                     cache=self.cache,
+                    resources=self.resources,
                 )
                 started = time.perf_counter()
                 try:
                     with span("chunk", index=index,
                               attempt=attempt) as chunk_span:
+                        if self.resources is not None:
+                            self.resources.check_cancel()
                         chunk_ctx.fire_faults(index, attempt,
                                               allow_exit=False)
                         accumulators = _run_range(
@@ -633,17 +1049,35 @@ class Supervisor:
                             self.bounds[index][0], self.bounds[index][1],
                             self.executor,
                         )
+                except ChunkCancelled as exc:
+                    reason = getattr(exc, "reason", "interrupt")
+                    if reason in ("watchdog", "preempt"):
+                        # Chunk-level casualty: clear the flag (there is
+                        # no pool to recycle in-process) and bisect or
+                        # retry; a preempt parks uncharged.
+                        self._reset_token()
+                        if reason == "preempt" or self._serial_resource_failure(
+                            index, attempt, reason, exc, queue
+                        ):
+                            continue
+                        break
+                    self.out.cancelled = self.out.cancelled or reason
+                    self.attempts[index] = max(self.attempts[index], attempt)
+                    self._fail_remaining(
+                        [index, *queue],
+                        "deadline" if reason == "deadline" else "cancelled",
+                    )
+                    return
+                except MemoryError as exc:
+                    if self._serial_resource_failure(index, attempt, "memory",
+                                                     exc, queue):
+                        continue
+                    break
                 except Exception as exc:
                     if not self._record_failure(index, attempt, "exception",
                                                 exc):
                         break
-                    pause = budget.backoff_for(attempt)
-                    if self.deadline_at is not None:
-                        pause = min(
-                            pause, max(0.0, self.deadline_at - time.monotonic())
-                        )
-                    if pause:
-                        time.sleep(pause)
+                    self._backoff_sleep(attempt)
                     continue
                 # Kernel-dispatch counts are charged by the caller's
                 # global STATS delta (in-process execution, like the

@@ -174,6 +174,9 @@ class _Vectorized:
         self.env: dict[str, list] = {}
         self._universe: np.ndarray | None = None
         self._split = getattr(graph, "_split", None)
+        # Resource governor (None on ungoverned runs): shrinks the
+        # effective frontier-row cap and is polled per descend slice.
+        self.resources = getattr(ctx, "resources", None)
         from repro.observe import metrics as om
 
         self._frontier_hist = om.histogram(
@@ -343,7 +346,15 @@ class _Vectorized:
         total = source.total
         if total == 0:
             return
-        if total <= MAX_FRONTIER_ROWS or frontier.size <= 1:
+        # The governor can shrink the effective cap below the static
+        # MAX_FRONTIER_ROWS: each watchdog downshift halves it, and a
+        # max_frontier_bytes budget clamps it outright.  Re-read per
+        # loop so a mid-chunk downshift takes effect immediately.
+        cap = (
+            self.resources.frontier_rows_cap(MAX_FRONTIER_ROWS)
+            if self.resources is not None else MAX_FRONTIER_ROWS
+        )
+        if total <= cap or frontier.size <= 1:
             self._descend(node, frontier, source, None)
             return
         # Split the parent rows into contiguous groups whose child
@@ -352,7 +363,7 @@ class _Vectorized:
         ends = np.asarray(source.offsets[1:])
         lo = 0
         while lo < frontier.size:
-            budget = int(source.offsets[lo]) + MAX_FRONTIER_ROWS
+            budget = int(source.offsets[lo]) + cap
             hi = int(np.searchsorted(ends, budget, side="right"))
             hi = max(hi, lo + 1)
             rows = np.arange(lo, hi, dtype=np.int64)
@@ -371,6 +382,11 @@ class _Vectorized:
         else:
             parent_map = np.repeat(row_index, sizes)
         child = _Frontier(source.total, frontier, parent_map)
+        if self.resources is not None:
+            # Frontier-bytes accounting + cancel poll, before the body
+            # touches the child: an over-budget slice raises MemoryError
+            # (the supervisor bisects the chunk) right here.
+            self.resources.note_frontier(child.size)
         vo.VSTATS.record("frontier", child.size)
         self._frontier_hist.observe(float(child.size))
         self.env[node.var] = [_VERTEX, child, source.values]

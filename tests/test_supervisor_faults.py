@@ -80,6 +80,55 @@ def test_faulted_parallel_counts_are_exact(name, env):
         assert result.retries + result.pool_restarts >= 1
 
 
+@pytest.mark.parametrize("name", NAMES)
+def test_seeded_oom_faults_bisect_to_exact_counts(name, env):
+    """Memory faults recover via chunk bisection, not whole-chunk retry:
+    a governed run under a seeded oom schedule reproduces the fault-free
+    count exactly with zero pool restarts."""
+    from repro.runtime.resources import ResourceBudget
+    from repro.runtime.supervisor import RunPolicy
+
+    graph, profile = env
+    pattern = PATTERNS[name]
+    plan = compile_pattern(pattern, profile)
+    expected = reference.count_embeddings(graph, pattern)
+    faults = FaultPlan.seeded(
+        NAMES.index(name), NUM_CHUNKS, oom_rate=0.35,
+    )
+    ctx = ExecutionContext(plan.root.num_tables, faults=faults)
+    result = execute_plan(
+        plan, graph, ctx=ctx,
+        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        policy=RunPolicy(budget=RunBudget(backoff_s=0.001),
+                         supervised=True, resources=ResourceBudget()),
+    )
+    assert result.ok, [f.describe() for f in result.failures]
+    assert result.embedding_count == expected
+    assert result.metrics.pool_restarts == 0
+    if faults.faults:
+        assert result.metrics.bisections >= 1
+
+
+def test_seeded_oom_schedule_is_deterministic_and_rate_guarded():
+    """`oom_rate` draws are guarded so pre-oom schedules are unchanged:
+    the same seed with oom_rate=0 reproduces the legacy schedule."""
+    legacy = FaultPlan.seeded(7, 8, exception_rate=0.5, delay_rate=0.3)
+    guarded = FaultPlan.seeded(7, 8, exception_rate=0.5, delay_rate=0.3,
+                               oom_rate=0.0)
+    assert legacy.faults == guarded.faults
+    a = FaultPlan.seeded(7, 8, oom_rate=0.5)
+    b = FaultPlan.seeded(7, 8, oom_rate=0.5)
+    assert a.faults == b.faults
+    assert any(f.kind == "oom" for f in a.faults)
+
+
+def test_oom_fault_raises_memory_error():
+    plan = FaultPlan((Fault("oom", 0),))
+    with pytest.raises(MemoryError):
+        plan.fire(0, 1)
+    plan.fire(0, 2)  # attempt-1 default: later attempts are clean
+
+
 def test_worker_death_restarts_the_pool(env):
     graph, profile = env
     pattern = PATTERNS["house"]
