@@ -27,7 +27,7 @@ from repro.patterns import catalog
 from repro.patterns.decomposition import all_decompositions
 from repro.patterns.matching_order import extension_orders
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 
 TIMEOUT = 120.0
 
@@ -150,7 +150,8 @@ def test_ablation_executor(report, run_once):
         )
         timings = {}
         for executor in ("codegen", "interpreter"):
-            result = execute_plan(plan, graph, executor=executor)
+            result = execute_plan(plan, graph,
+                                  options=EngineOptions(executor=executor))
             timings[executor] = result.seconds
             table.add_row(executor, f"{result.seconds:.2f}s")
         return table, timings

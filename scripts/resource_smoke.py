@@ -76,9 +76,10 @@ OPTIONS = EngineOptions(workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER)
 BUDGET = ResourceBudget(max_frontier_bytes=256 * FRONTIER_ROW_BYTES)
 
 
-def governed_policy(**budget_kwargs) -> RunPolicy:
+def governed_policy(checkpoint=None, **budget_kwargs) -> RunPolicy:
     return RunPolicy(
         budget=RunBudget(backoff_s=0.001, **budget_kwargs),
+        checkpoint=checkpoint,
         supervised=True,
         resources=BUDGET,
     )
@@ -139,13 +140,11 @@ def run_smoke(seed: int) -> dict:
         )
         first = execute_plan(
             plan, graph, ctx=wedged, options=OPTIONS,
-            policy=governed_policy(deadline_s=0.4),
-            checkpoint=path,
+            policy=governed_policy(deadline_s=0.4, checkpoint=path),
         )
         second = execute_plan(
             plan, graph, options=OPTIONS,
-            policy=governed_policy(),
-            checkpoint=path,
+            policy=governed_policy(checkpoint=path),
         )
     cancel_resume_ok = (
         not first.ok

@@ -1,6 +1,15 @@
-"""Public API: the DecoMine session and constraint helpers."""
+"""Public API: the DecoMine session, request/response messages, and
+constraint helpers."""
 
 from repro.api.constraints import label_is, labels_distinct, labels_equal
+from repro.api.messages import MiningRequest, MiningResponse
 from repro.api.session import DecoMine
 
-__all__ = ["DecoMine", "labels_equal", "labels_distinct", "label_is"]
+__all__ = [
+    "DecoMine",
+    "MiningRequest",
+    "MiningResponse",
+    "labels_equal",
+    "labels_distinct",
+    "label_is",
+]

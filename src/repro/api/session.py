@@ -21,19 +21,20 @@ it, which is the paper's central usability claim.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import replace
 from typing import Callable, Sequence
 
+from repro.api.messages import MiningRequest, MiningResponse
 from repro.compiler.pipeline import CompiledPlan, compile_pattern
+from repro.compiler.plancache import PlanCache, plan_key
 from repro.compiler.search import SearchOptions
 from repro.compiler.specs import Constraint, DecompSpec, DirectSpec
 from repro.costmodel import CostModel, CostProfile, get_model, profile_graph
-from repro.exceptions import PatternError
+from repro.exceptions import PatternError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.transform import orient
 from repro.observe.calibration import calibrating, record_plan_execution
-from repro.observe.ledger import note_phase
+from repro.observe.ledger import graph_fingerprint, new_run_id, note_phase
 from repro.observe.trace import span
 from repro.patterns.conversion import edge_induced_requirements
 from repro.patterns.isomorphism import automorphisms, canonical_code
@@ -44,6 +45,27 @@ from repro.runtime.partial_embedding import PartialEmbedding, materialize
 from repro.runtime.supervisor import RunBudget, RunPolicy
 
 __all__ = ["DecoMine"]
+
+#: Pre-redesign ``DecoMine.__init__`` keywords, removed after their
+#: one-release deprecation window, mapped to the current spelling.
+_REMOVED_INIT_KWARGS = {
+    "workers": "engine=EngineOptions(workers=...)",
+    "executor": "engine=EngineOptions(executor=...)",
+}
+
+
+def _reject_removed_init_kwargs(removed: dict) -> None:
+    known = {k: v for k, v in _REMOVED_INIT_KWARGS.items() if k in removed}
+    if known:
+        detail = "; ".join(
+            f"{name}= was removed, pass {replacement}"
+            for name, replacement in known.items()
+        )
+        raise ReproError(f"DecoMine() no longer accepts these keywords: {detail}")
+    name = next(iter(removed))
+    raise TypeError(
+        f"DecoMine() got an unexpected keyword argument {name!r}"
+    )
 
 ProcessPartialEmbedding = Callable[[PartialEmbedding], None]
 
@@ -61,9 +83,17 @@ class DecoMine:
     engine:
         An :class:`~repro.runtime.engine.EngineOptions` bundle applied
         to every counting execution: worker count, chunking, executor
-        choice, set-op cache policy, fault plan.  The pre-redesign
-        ``workers=``/``executor=`` keywords keep working for one release
-        (folded into ``engine`` with a :class:`DeprecationWarning`).
+        choice, set-op cache policy, fault plan.  (The pre-redesign
+        ``workers=``/``executor=`` keywords are gone; passing them
+        raises :class:`~repro.exceptions.ReproError` naming the
+        replacement.)
+    plan_cache:
+        Optional persistent :class:`~repro.compiler.plancache.PlanCache`
+        (or a directory path) shared with other sessions and the
+        ``repro serve`` daemon: compiled plans are looked up by content
+        key before any profiling happens, so a warm pattern skips
+        profile+compile+search entirely.  None (the default) keeps the
+        session's in-memory cache only.
     search_options:
         Caps/toggles for the compiler's algorithm search.
     profile:
@@ -87,63 +117,51 @@ class DecoMine:
         self,
         graph: CSRGraph,
         cost_model: CostModel | str = "approx_mining",
-        workers: int | None = None,
         search_options: SearchOptions | None = None,
         profile: CostProfile | None = None,
-        executor: str | None = None,
         profile_seed: int = 0,
         run_policy: RunPolicy | RunBudget | None = None,
         *,
         engine: EngineOptions | None = None,
+        plan_cache: "PlanCache | str | None" = None,
+        **removed,
     ) -> None:
+        if removed:
+            _reject_removed_init_kwargs(removed)
         self.graph = graph
         self.model = (
             get_model(cost_model) if isinstance(cost_model, str) else cost_model
         )
-        legacy = {
-            key: value
-            for key, value in (("workers", workers), ("executor", executor))
-            if value is not None
-        }
-        if legacy:
-            warnings.warn(
-                "DecoMine("
-                + "/".join(f"{k}=" for k in legacy)
-                + ") is deprecated; pass engine=EngineOptions(...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            engine = replace(engine or EngineOptions(), **legacy)
         self.engine_options = engine if engine is not None else EngineOptions()
         self.options = search_options or SearchOptions()
         if isinstance(run_policy, RunBudget):
             run_policy = RunPolicy(budget=run_policy)
         self.run_policy = run_policy
-        self.last_result: ExecutionResult | None = None
+        if plan_cache is None or isinstance(plan_cache, PlanCache):
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = PlanCache(plan_cache)
+        #: The most recent :class:`MiningResponse` (every public entry
+        #: point routes through :meth:`submit`).
+        self.last_response: MiningResponse | None = None
+        self._last_result: ExecutionResult | None = None
+        #: Provenance of the most recent ``plan_for``: the persistent
+        #: cache key and whether any cache (in-memory or on-disk)
+        #: supplied the plan.
+        self.last_plan_key: str = ""
+        self.last_plan_cache_hit: bool = False
         self._profile = profile
         self._profile_seed = profile_seed
         self._plan_cache: dict = {}
 
-    # Deprecated spellings of the engine knobs (one release).
     @property
-    def workers(self) -> int:
-        warnings.warn(
-            "DecoMine.workers is deprecated; use "
-            "DecoMine.engine_options.workers",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.engine_options.workers
+    def last_result(self) -> ExecutionResult | None:
+        """The most recent raw :class:`ExecutionResult`.
 
-    @property
-    def executor(self) -> str:
-        warnings.warn(
-            "DecoMine.executor is deprecated; use "
-            "DecoMine.engine_options.executor",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.engine_options.executor
+        Alias kept from the pre-request/response API;
+        :attr:`last_response` is the richer view.
+        """
+        return self._last_result
 
     # ------------------------------------------------------------------
     # Profiling
@@ -169,34 +187,99 @@ class DecoMine:
         mode: str = "count",
         induced: bool = False,
         constraints: tuple[Constraint, ...] = (),
+        options: EngineOptions | None = None,
     ) -> CompiledPlan:
-        """Compile (or fetch from cache) the best plan for a pattern."""
+        """Compile (or fetch from cache) the best plan for a pattern.
+
+        Consults the in-memory cache first, then the persistent
+        :attr:`plan_cache` when one is attached (storing cold compiles
+        back into it).  ``last_plan_key``/``last_plan_cache_hit`` record
+        the provenance of the returned plan.
+        """
+        plan, key, hit = self._plan_with_provenance(
+            pattern, mode, induced, tuple(constraints),
+            options if options is not None else self.engine_options,
+        )
+        self.last_plan_key = key
+        self.last_plan_cache_hit = hit
+        return plan
+
+    def _plan_with_provenance(
+        self,
+        pattern: Pattern,
+        mode: str,
+        induced: bool,
+        constraints: tuple[Constraint, ...],
+        options: EngineOptions,
+        events: list | None = None,
+    ) -> tuple[CompiledPlan, str, bool]:
         orientation = "none"
         if mode == "count" and not constraints:
             # Orientation applies to counting plans only — relabeled ids
             # would leak into emit UDFs and constraint predicates — so
             # emit/constrained plans compile unoriented and the engine
             # strips the option at execution time (see _execute).
-            orientation = self.engine_options.orientation
-            key = (canonical_code(pattern), mode, induced, orientation)
+            orientation = options.orientation
+            memkey = (canonical_code(pattern), mode, induced, orientation)
         else:
-            key = (pattern, mode, induced, constraints)
-        plan = self._plan_cache.get(key)
+            memkey = (pattern, mode, induced, constraints)
+        key = plan_key(
+            pattern,
+            graph_fingerprint=graph_fingerprint(self.graph),
+            model_name=getattr(self.model, "name", str(self.model)),
+            mode=mode,
+            induced=induced,
+            constraints=constraints,
+            options=self.options,
+            orientation=orientation,
+        )
+        plan = self._plan_cache.get(memkey)
+        hit = plan is not None
         if plan is None:
-            if orientation != "none":
-                self._attach_orientation_stats(orientation)
-            plan = compile_pattern(
-                pattern,
-                self.profile,
-                self.model,
-                mode=mode,
-                induced=induced,
-                constraints=constraints,
-                options=self.options,
-                orientation=orientation,
-            )
-            self._plan_cache[key] = plan
+            if self.plan_cache is not None:
+                plan, hit = self.plan_cache.compile_cached(
+                    pattern,
+                    lambda: self._profile_for(orientation),
+                    self.model,
+                    graph_fingerprint=graph_fingerprint(self.graph),
+                    mode=mode,
+                    induced=induced,
+                    constraints=constraints,
+                    options=self.options,
+                    orientation=orientation,
+                )
+            else:
+                plan = compile_pattern(
+                    pattern,
+                    self._profile_for(orientation),
+                    self.model,
+                    mode=mode,
+                    induced=induced,
+                    constraints=constraints,
+                    options=self.options,
+                    orientation=orientation,
+                )
+            self._plan_cache[memkey] = plan
+        if events is not None:
+            events.append((key, hit))
+        return plan, key, hit
+
+    def _plan(self, pattern, mode, induced, constraints, options, events):
+        plan, _key, _hit = self._plan_with_provenance(
+            pattern, mode, induced, constraints, options, events
+        )
         return plan
+
+    def _profile_for(self, orientation: str) -> CostProfile:
+        """The graph profile, with orientation stats attached on demand.
+
+        Passed to the persistent cache as the *profile factory*: only
+        invoked on a cache miss, which is what lets a warm request skip
+        graph profiling entirely.
+        """
+        if orientation != "none":
+            self._attach_orientation_stats(orientation)
+        return self.profile
 
     def _attach_orientation_stats(self, orientation: str) -> None:
         """Feed measured out-degree statistics to the cost models.
@@ -218,6 +301,35 @@ class DecoMine:
         """Human-readable description of the plan the compiler selected."""
         return self.plan_for(pattern, induced=induced).describe()
 
+    def explain_json(self, pattern: Pattern, induced: bool = False) -> dict:
+        """Machine-readable plan summary (``repro explain --format json``).
+
+        Includes the persistent plan-cache key for this request, whether
+        this session got the plan from a cache, and whether a persistent
+        entry is currently published under that key.
+        """
+        plan = self.plan_for(pattern, induced=induced)
+        return {
+            "pattern": pattern.name or repr(pattern),
+            "mode": plan.mode,
+            "model": plan.model_name,
+            "cost": float(plan.cost),
+            "orientation": plan.orientation,
+            "aux_plans": len(plan.aux_plans),
+            "compile_seconds": float(plan.compile_seconds),
+            "plan": plan.describe(),
+            "plan_cache": {
+                "key": self.last_plan_key,
+                "hit": self.last_plan_cache_hit,
+                "persistent": (
+                    self.plan_cache.contains(self.last_plan_key)
+                    if self.plan_cache is not None else False
+                ),
+                "path": (str(self.plan_cache.path)
+                         if self.plan_cache is not None else None),
+            },
+        }
+
     # ------------------------------------------------------------------
     # get_pattern_count
     # ------------------------------------------------------------------
@@ -230,50 +342,180 @@ class DecoMine:
         converting edge-induced counts of denser patterns — whichever the
         cost model predicts is cheaper (paper section 2.2).
         """
-        self._check(pattern)
+        response = self.submit(
+            MiningRequest(pattern=pattern, induced=induced)
+        )
+        return self._unwrap_count(response)
+
+    # ------------------------------------------------------------------
+    # submit: the one entry point every public call routes through
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: MiningRequest,
+        *,
+        process_partial_embedding: "ProcessPartialEmbedding | None" = None,
+        predicates: "Sequence[Callable] | None" = None,
+    ) -> MiningResponse:
+        """Run one :class:`MiningRequest`, returning a :class:`MiningResponse`.
+
+        The same internals serve the library calls
+        (``get_pattern_count``/``mine``/``count_with_constraints`` each
+        build a request and call this) and the ``repro serve`` daemon.
+        Callables cannot live on the frozen request, so the emit UDF
+        (``mode="mine"``) and the constraint predicates
+        (``mode="constrained"``, one per ``request.constraints`` entry)
+        arrive as keyword arguments.
+
+        Invalid requests and failed compilations raise; *incomplete
+        executions* (cancelled, unrecovered chunks) return a response
+        with ``ok=False`` and ``count=None`` plus the salvage view.
+        """
+        if not isinstance(request, MiningRequest):
+            raise ReproError("submit() takes a MiningRequest")
+        if request.mode == "mine" and process_partial_embedding is None:
+            raise ReproError("mode='mine' requires process_partial_embedding")
+        if request.mode == "constrained":
+            if predicates is None or len(predicates) != len(request.constraints):
+                raise ReproError(
+                    "mode='constrained' requires one predicate per "
+                    "constraints entry"
+                )
+        self._check(request.pattern)
+        options = (request.engine if request.engine is not None
+                   else self.engine_options)
+        events: list[tuple[str, bool]] = []
+        started = time.perf_counter()
+        result: ExecutionResult | None = None
+        if request.mode == "count":
+            policy = self._policy_for(request, self.run_policy)
+            count, result = self._count_request(request, options, policy,
+                                                events)
+        elif request.mode == "mine":
+            plan = self._plan(request.pattern, "emit", False, (), options,
+                              events)
+            emitter = self._make_emitter(plan, process_partial_embedding)
+            ctx = ExecutionContext(plan.root.num_tables, emit=emitter)
+            result = self._execute(plan, ctx, options=options)
+            count = result.embedding_count if result.ok else None
+        else:
+            specs = tuple(
+                Constraint(pred=index, vertices=tuple(vertices))
+                for index, vertices in enumerate(request.constraints)
+            )
+            plan = self._plan(request.pattern, "count", False, specs,
+                              options, events)
+            ctx = ExecutionContext(
+                plan.root.num_tables, predicates=list(predicates)
+            )
+            # Constrained plans run serial and unoriented: predicates
+            # observe original vertex ids and close over local state.
+            constrained = replace(options, workers=1, orientation="none")
+            policy = self._policy_for(request, None)
+            result = self._execute(plan, ctx, options=constrained,
+                                   policy=policy)
+            count = result.raw_count if result.ok else None
+        response = MiningResponse(
+            request_id=request.request_id or new_run_id(),
+            client_id=request.client_id,
+            ok=result.ok if result is not None else True,
+            count=count,
+            raw_count=(result.raw_count if result is not None
+                       else int(count or 0)),
+            mode=request.mode,
+            run_id=result.run_id if result is not None else "",
+            plan_key=events[-1][0] if events else "",
+            plan_cache_hit=bool(events) and all(hit for _, hit in events),
+            seconds=time.perf_counter() - started,
+            cancelled=result.cancelled if result is not None else None,
+            salvage=result.salvage if result is not None else None,
+            metrics=(result.metrics.as_dict() if result is not None else {}),
+        )
+        self.last_response = response
+        return response
+
+    def _unwrap_count(self, response: MiningResponse) -> int:
+        if response.count is not None:
+            return response.count
+        # Incomplete run: re-raise the legacy ExecutionError with the
+        # failure summary (embedding_count raises on unrecovered chunks).
+        assert self._last_result is not None
+        return self._last_result.embedding_count
+
+    def _policy_for(self, request: MiningRequest, base):
+        """The run policy for one request: the base plus its deadline."""
+        if request.deadline_s is None:
+            return base
+        policy = base if base is not None else RunPolicy()
+        budget = policy.budget if policy.budget is not None else RunBudget()
+        return replace(
+            policy,
+            budget=replace(budget, deadline_s=request.deadline_s),
+            supervised=True,
+        )
+
+    def _count_request(self, request, options, policy, events):
+        pattern = request.pattern
         if pattern.n == 1:
             if pattern.is_labeled:
-                return int(
+                count = int(
                     self.graph.vertices_with_label(pattern.labels[0]).size
                 )
-            return self.graph.num_vertices
-        if not induced:
-            return self._execute_count(self.plan_for(pattern))
-        return self._vertex_induced_count(pattern)
+            else:
+                count = self.graph.num_vertices
+            return count, None
+        if not request.induced:
+            plan = self._plan(pattern, "count", False, (), options, events)
+            return self._run_count(plan, options, policy)
+        return self._vertex_induced_count(pattern, options, policy, events)
 
-    def _vertex_induced_count(self, pattern: Pattern) -> int:
+    def _vertex_induced_count(self, pattern, options, policy, events):
         if pattern.is_clique and not pattern.is_labeled:
             # A clique's vertex- and edge-induced counts coincide.
-            return self._execute_count(self.plan_for(pattern))
-        direct_plan = self.plan_for(pattern, induced=True)
+            plan = self._plan(pattern, "count", False, (), options, events)
+            return self._run_count(plan, options, policy)
+        direct_plan = self._plan(pattern, "count", True, (), options, events)
         missing_edges = pattern.n * (pattern.n - 1) // 2 - pattern.num_edges
         if pattern.is_labeled or not (pattern.n <= 5 or missing_edges <= 3):
             # Conversion operates on unlabeled patterns, and its host
             # closure (all same-vertex supergraphs) explodes for large
             # sparse patterns — 2^missing_edges in the worst case.  The
             # direct vertex-induced plan is the paper's option (1).
-            return self._execute_count(direct_plan)
+            return self._run_count(direct_plan, options, policy)
         requirements = edge_induced_requirements(pattern)
-        host_plans = [self.plan_for(host) for host, _ in requirements]
+        host_plans = [
+            self._plan(host, "count", False, (), options, events)
+            for host, _ in requirements
+        ]
         indirect_cost = sum(plan.cost for plan in host_plans)
         if direct_plan.cost <= indirect_cost:
-            return self._execute_count(direct_plan)
+            return self._run_count(direct_plan, options, policy)
         total = 0
+        result = None
         for (host, coefficient), plan in zip(requirements, host_plans):
-            total += coefficient * self._execute_count(plan)
-        return total
+            count, result = self._run_count(plan, options, policy)
+            if count is None:
+                return None, result
+            total += coefficient * count
+        return total, result
 
-    def _execute_count(self, plan: CompiledPlan) -> int:
-        result = self._execute(plan)
-        return result.embedding_count
+    def _run_count(self, plan, options, policy):
+        result = self._execute(plan, options=options, policy=policy)
+        return (result.embedding_count if result.ok else None), result
 
     def _execute(
-        self, plan: CompiledPlan, ctx: ExecutionContext | None = None
+        self,
+        plan: CompiledPlan,
+        ctx: ExecutionContext | None = None,
+        *,
+        options: EngineOptions | None = None,
+        policy: "RunPolicy | None" = None,
     ) -> ExecutionResult:
-        options = self.engine_options
+        options = options if options is not None else self.engine_options
         # Supervision re-runs chunks, which is only sound for counting
         # accumulators — emit-mode UDF deliveries are not idempotent.
-        policy = self.run_policy if plan.mode == "count" else None
+        if plan.mode != "count":
+            policy = None
         overrides = {}
         if plan.mode != "count" and options.workers != 1:
             overrides["workers"] = 1
@@ -288,7 +530,7 @@ class DecoMine:
         result = execute_plan(
             plan, self.graph, ctx=ctx, options=options, policy=policy,
         )
-        self.last_result = result
+        self._last_result = result
         if plan.mode == "count" and calibrating():
             record_plan_execution(plan, self.profile, result.seconds)
         return result
@@ -311,12 +553,11 @@ class DecoMine:
 
         Returns the whole-pattern embedding count as a convenience.
         """
-        self._check(pattern)
-        plan = self.plan_for(pattern, mode="emit")
-        emitter = self._make_emitter(plan, process_partial_embedding)
-        ctx = ExecutionContext(plan.root.num_tables, emit=emitter)
-        result = self._execute(plan, ctx)
-        return result.embedding_count
+        response = self.submit(
+            MiningRequest(pattern=pattern, mode="mine"),
+            process_partial_embedding=process_partial_embedding,
+        )
+        return self._unwrap_count(response)
 
     def _make_emitter(self, plan: CompiledPlan, udf: ProcessPartialEmbedding):
         pattern = plan.pattern
@@ -372,17 +613,21 @@ class DecoMine:
         are generally not automorphism-invariant and the embedding-level
         multiplicity division does not apply.
         """
-        self._check(pattern)
-        specs = tuple(
-            Constraint(pred=index, vertices=tuple(vertices))
-            for index, (_, vertices) in enumerate(constraints)
+        response = self.submit(
+            MiningRequest(
+                pattern=pattern,
+                mode="constrained",
+                constraints=tuple(
+                    tuple(int(v) for v in vertices)
+                    for _, vertices in constraints
+                ),
+            ),
+            predicates=[predicate for predicate, _ in constraints],
         )
-        predicates = [predicate for predicate, _ in constraints]
-        plan = self.plan_for(pattern, constraints=specs)
-        ctx = ExecutionContext(plan.root.num_tables, predicates=predicates)
-        options = replace(self.engine_options, workers=1, orientation="none")
-        result = execute_plan(plan, self.graph, ctx=ctx, options=options)
-        return result.raw_count
+        if response.count is None:
+            assert self._last_result is not None
+            self._last_result.embedding_count  # raises with the summary
+        return response.count
 
     # ------------------------------------------------------------------
     def _check(self, pattern: Pattern) -> None:

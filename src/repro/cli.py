@@ -13,6 +13,10 @@ Examples::
     python -m repro perf run --suite smoke
     python -m repro perf check
     python -m repro datasets
+    python -m repro serve --dataset wikivote --socket /tmp/repro.sock
+    python -m repro submit --socket /tmp/repro.sock --pattern house
+    python -m repro ping --socket /tmp/repro.sock
+    python -m repro shutdown --socket /tmp/repro.sock
 
 Pattern names: ``triangle``, ``diamond``, ``house``, ``gem``, ``bowtie``,
 ``net``, ``tailed-triangle``, ``k-chain``, ``k-cycle``, ``k-clique``,
@@ -118,6 +122,12 @@ def _add_graph_args(parser):
                         help="built-in dataset analogue (see `datasets`)")
     parser.add_argument("--cost-model", default="approx_mining",
                         choices=("approx_mining", "locality", "automine"))
+    parser.add_argument("--plan-cache", metavar="DIR", nargs="?",
+                        const="", default=None,
+                        help="persistent compiled-plan cache directory "
+                             "(default .repro/plancache or "
+                             "$REPRO_PLAN_CACHE): warm patterns skip "
+                             "profile+compile+search")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -191,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
     explain.add_argument("--pattern", required=True)
     explain.add_argument("--source", action="store_true",
                          help="print the generated plan source")
+    explain.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="json adds cost, orientation and the "
+                              "plan-cache key + hit/miss")
 
     stats = sub.add_parser(
         "stats",
@@ -272,6 +286,48 @@ def main(argv: list[str] | None = None) -> int:
         "validate", help="schema-check trajectory files")
     perf_validate.add_argument("files", nargs="+", metavar="FILE")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the mining daemon: one shared-memory graph, concurrent "
+             "admission-controlled requests over a Unix socket",
+    )
+    _add_graph_args(serve)
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="Unix socket path to listen on")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="fork-pool workers per run (default 1)")
+    serve.add_argument("--executor",
+                       choices=("codegen", "interpreter", "vectorized"),
+                       default="codegen")
+    serve.add_argument("--max-inflight", type=int, default=2,
+                       help="concurrent executions (default 2)")
+    serve.add_argument("--max-pending", type=int, default=4,
+                       help="requests allowed to queue for a slot before "
+                            "admission control rejects (default 4)")
+    serve.add_argument("--default-deadline", type=float, metavar="SECONDS",
+                       help="deadline for requests that bring none")
+    serve.add_argument("--ledger", metavar="FILE", nargs="?",
+                       const="", default=None,
+                       help="record every request in the run ledger, "
+                            "tagged with the client id")
+
+    submit = sub.add_parser(
+        "submit", help="submit one counting request to a running daemon")
+    submit.add_argument("--socket", required=True, metavar="PATH")
+    submit.add_argument("--pattern", required=True)
+    submit.add_argument("--induced", action="store_true")
+    submit.add_argument("--deadline", type=float, metavar="SECONDS")
+    submit.add_argument("--client-id", default="cli")
+    submit.add_argument("--format", choices=("text", "json"),
+                        default="text")
+
+    ping = sub.add_parser("ping", help="daemon liveness + stats snapshot")
+    ping.add_argument("--socket", required=True, metavar="PATH")
+    ping.add_argument("--format", choices=("text", "json"), default="text")
+
+    shutdown = sub.add_parser("shutdown", help="stop a running daemon")
+    shutdown.add_argument("--socket", required=True, metavar="PATH")
+
     args = parser.parse_args(argv)
 
     if args.command == "datasets":
@@ -288,12 +344,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "perf":
         return _run_perf(args)
 
+    if args.command in ("submit", "ping", "shutdown"):
+        return _run_serve_client(args)
+
     try:
         graph = _load_graph(args)
     except (OSError, KeyError, ValueError, ReproError) as exc:
         detail = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: cannot load graph: {detail}", file=sys.stderr)
         return 2
+    if args.command == "serve":
+        return _run_serve(args, graph)
     try:
         if getattr(args, "pattern", None):
             for text in str(args.pattern).split(","):
@@ -345,6 +406,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.ledger import enable_ledger
 
         enable_ledger(args.ledger or None)
+    plan_cache = getattr(args, "plan_cache", None)
+    if plan_cache == "":
+        from repro.compiler.plancache import default_cache_path
+
+        plan_cache = default_cache_path()
     session = DecoMine(
         graph,
         cost_model=args.cost_model,
@@ -355,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=progress,
         ),
         run_policy=run_policy,
+        plan_cache=plan_cache,
     )
     print(f"graph: {graph}", file=sys.stderr)
 
@@ -452,6 +519,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "explain":
         pattern = parse_pattern(args.pattern)
+        if args.format == "json":
+            payload = session.explain_json(pattern)
+            if args.source:
+                payload["source"] = session.plan_for(pattern).source
+            print(json.dumps(payload, indent=2))
+            return 0
         plan = session.plan_for(pattern)
         print(plan.describe())
         if args.source:
@@ -459,6 +532,94 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+def _run_serve(args, graph) -> int:
+    """``repro serve``: run the mining daemon until shutdown."""
+    import os
+
+    from repro.serve import MiningServer, ServerConfig
+
+    if args.ledger is not None:
+        from repro.observe.ledger import enable_ledger
+
+        enable_ledger(args.ledger or None)
+    plan_cache = args.plan_cache
+    if plan_cache == "":
+        from repro.compiler.plancache import default_cache_path
+
+        plan_cache = default_cache_path()
+    config = ServerConfig(
+        socket_path=args.socket,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        default_deadline_s=args.default_deadline,
+    )
+    server = MiningServer(
+        graph,
+        config,
+        cost_model=args.cost_model,
+        engine=EngineOptions(workers=args.workers, executor=args.executor),
+        plan_cache=plan_cache,
+    )
+    print(f"serving {graph} on {args.socket} (pid {os.getpid()}, "
+          f"max {config.max_inflight} in flight + {config.max_pending} "
+          f"pending)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    print("daemon stopped", file=sys.stderr)
+    return 0
+
+
+def _run_serve_client(args) -> int:
+    """``repro submit`` / ``ping`` / ``shutdown``: talk to a daemon."""
+    from repro.serve import Client
+
+    try:
+        client = Client(args.socket,
+                        client_id=getattr(args, "client_id", "cli"))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.command == "submit":
+                response = client.submit(
+                    parse_pattern(args.pattern),
+                    induced=args.induced,
+                    deadline_s=args.deadline,
+                )
+                if args.format == "json":
+                    print(json.dumps(response.to_wire(), indent=2))
+                    return 0 if response.ok else 3
+                if not response.ok:
+                    print(f"error: {response.error or response.cancelled}",
+                          file=sys.stderr)
+                    return 3
+                source = "warm" if response.plan_cache_hit else "cold"
+                print(f"{args.pattern}: {response.count} embeddings "
+                      f"({response.seconds:.3f}s, {source} plan, "
+                      f"run {response.run_id or 'unrecorded'})")
+                return 0
+            if args.command == "ping":
+                stats = client.ping()
+                if args.format == "json":
+                    print(json.dumps(stats, indent=2))
+                else:
+                    print(f"ok: pid {stats['pid']}, up "
+                          f"{stats['uptime_s']:.0f}s, "
+                          f"{stats['requests']} requests "
+                          f"({stats['rejections']} rejected), "
+                          f"{stats['inflight']} in flight")
+                return 0
+            client.shutdown()
+            print("daemon shutting down")
+            return 0
+        except (ReproError, PatternError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
 
 def _run_history(args) -> int:

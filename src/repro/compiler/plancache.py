@@ -1,0 +1,343 @@
+"""Persistent, versioned on-disk cache of compiled plans.
+
+The in-memory plan caches (the session's dict, the pipeline's
+per-profile ``_PLAN_CACHE``) die with the process; a long-lived service
+wants repeat queries to skip profile+search+codegen across restarts and
+across processes.  This module provides that: a content-addressed
+directory of frozen plan *specs* keyed by everything that determines the
+winning plan —
+
+* the pattern's canonical code (isomorphism-invariant, so ``house`` and
+  any relabeling of it share an entry) — or, for constrained plans, the
+  exact pattern plus the constraint signature (constraints name original
+  vertex ids, which canonicalization would scramble),
+* the induced flag and mode,
+* the graph *content* fingerprint (profiles — and therefore plan
+  choice — depend on the graph; see
+  :func:`repro.observe.ledger.graph_fingerprint`),
+* the cost-model id and the full search-options digest,
+* the requested orientation,
+* the cache format version.
+
+A cache **hit** stores no executable code: the winning
+:class:`~repro.compiler.specs.PlanSpec` is re-lowered deterministically
+(``build_ast`` → ``optimize`` → ``compile_root``) under a single
+``"plan-cache"`` tracing span — crucially *without* the ``profile``,
+``compile`` or ``search`` spans a cold compile emits, which is the
+observable contract warm-path tests assert.  Rebuilding from the spec
+(rather than pickling the AST/closure) keeps entries small, robust to
+internal AST refactors (the version gate), and guarantees bit-identical
+counts: the same spec lowers to the same plan.
+
+Writes are crash- and race-safe: each entry is pickled to a unique temp
+file in the cache directory and published with ``os.replace`` (atomic on
+POSIX), so concurrent writers — N daemon threads, or a daemon racing a
+CLI — can never tear an entry.  Corrupted, truncated, stale-versioned or
+wrong-graph entries are treated as misses and silently recompiled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from pathlib import Path
+
+from repro.compiler.build import build_ast
+from repro.compiler.codegen import compile_root
+from repro.compiler.passes import optimize
+from repro.compiler.pipeline import CompiledPlan, compile_pattern
+from repro.compiler.search import SearchOptions
+from repro.costmodel import CostProfile
+from repro.observe.ledger import note_phase
+from repro.observe.trace import span
+from repro.patterns.isomorphism import canonical_code
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "PlanCache",
+    "default_cache_path",
+    "options_digest",
+    "plan_key",
+]
+
+#: Bump on any change to the entry payload layout *or* to spec lowering
+#: semantics (build/passes/codegen): stale-version entries are misses.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment override for the default cache directory.
+CACHE_ENV_VAR = "REPRO_PLAN_CACHE"
+
+_ENTRY_SUFFIX = ".plan"
+
+
+def default_cache_path() -> Path:
+    """The cache directory used when none is given explicitly."""
+    return Path(os.environ.get(CACHE_ENV_VAR, ".repro/plancache"))
+
+
+def options_digest(options: SearchOptions) -> str:
+    """Digest of every search knob that can change the winning plan.
+
+    ``SearchOptions`` (and its nested ``PassOptions``) are frozen
+    dataclasses, so their ``repr`` is a complete, deterministic encoding.
+    """
+    return hashlib.sha256(repr(options).encode()).hexdigest()[:16]
+
+
+def plan_key(
+    pattern: Pattern,
+    *,
+    graph_fingerprint: str,
+    model_name: str,
+    mode: str = "count",
+    induced: bool = False,
+    constraints: tuple = (),
+    options: SearchOptions | None = None,
+    orientation: str = "none",
+    version: int = CACHE_FORMAT_VERSION,
+) -> str:
+    """The content-addressed cache key for one compilation request.
+
+    Generalizes the supervisor's ``plan_fingerprint`` (which identifies
+    a *compiled* plan for checkpointing) to identify a *compilation
+    request* before any compilation happens — the property that lets a
+    warm request skip profiling entirely.
+    """
+    if mode == "count" and not constraints:
+        pattern_part = repr(canonical_code(pattern))
+    else:
+        # Constraint fragments and emit layouts observe original vertex
+        # ids; canonicalization would conflate distinct requests.
+        pattern_part = repr(pattern) + "|" + repr(constraints)
+    parts = (
+        str(version),
+        pattern_part,
+        mode,
+        str(bool(induced)),
+        graph_fingerprint,
+        model_name,
+        options_digest(options if options is not None else SearchOptions()),
+        orientation,
+    )
+    digest = hashlib.sha256("\x00".join(parts).encode()).hexdigest()
+    return digest[:32]
+
+
+def _freeze_plan(plan: CompiledPlan) -> dict:
+    """The minimal picklable payload a plan can be rebuilt from."""
+    return {
+        "spec": plan.spec,
+        "mode": plan.mode,
+        "cost": plan.cost,
+        "model_name": plan.model_name,
+        "orientation": plan.orientation,
+        "aux": [
+            (_freeze_plan(aux_plan), multiplier)
+            for aux_plan, multiplier in plan.aux_plans
+        ],
+    }
+
+
+def _rebuild_plan(frozen: dict, passes) -> CompiledPlan:
+    """Deterministically re-lower a frozen spec to an executable plan."""
+    started = time.perf_counter()
+    root, info = build_ast(frozen["spec"], frozen["mode"])
+    optimize(root, passes)
+    function, source = compile_root(root)
+    aux_plans = tuple(
+        (_rebuild_plan(aux_frozen, passes), multiplier)
+        for aux_frozen, multiplier in frozen["aux"]
+    )
+    return CompiledPlan(
+        pattern=frozen["spec"].pattern,
+        spec=frozen["spec"],
+        mode=frozen["mode"],
+        root=root,
+        info=info,
+        source=source,
+        function=function,
+        cost=frozen["cost"],
+        compile_seconds=time.perf_counter() - started,
+        model_name=frozen["model_name"],
+        aux_plans=aux_plans,
+        orientation=frozen["orientation"],
+    )
+
+
+class PlanCache:
+    """A directory of compiled-plan entries, shared across processes.
+
+    One instance per cache directory; safe for concurrent readers and
+    writers (atomic-rename publication, corrupt entries read as misses).
+    ``hits``/``misses``/``stores`` count this instance's traffic and are
+    mirrored into the ``repro_plancache_*`` registry counters.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        return self.path / f"{key}{_ENTRY_SUFFIX}"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` is currently published.
+
+        A quick existence probe (no payload validation) — ``load`` is
+        the authoritative check.
+        """
+        return self.entry_path(key).is_file()
+
+    def load(self, key: str, *, graph_fingerprint: str) -> CompiledPlan | None:
+        """Load and re-lower the entry for ``key``; None on any miss.
+
+        Every failure mode — missing entry, truncated or corrupted
+        pickle, stale format version, a graph-fingerprint mismatch
+        (hash-collision paranoia; the fingerprint is already in the
+        key), or a spec the current lowering rejects — degrades to a
+        miss: the caller recompiles and overwrites the entry.
+        """
+        started = time.perf_counter()
+        try:
+            raw = self.entry_path(key).read_bytes()
+            payload = pickle.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("entry payload is not a dict")
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                raise ValueError("stale cache format version")
+            if payload.get("graph_fingerprint") != graph_fingerprint:
+                raise ValueError("graph fingerprint mismatch")
+            with span("plan-cache", key=key, hit=True):
+                plan = _rebuild_plan(payload["plan"], payload["passes"])
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except Exception:
+            # Corrupt/stale/incompatible: behave exactly like a cold
+            # cache — the recompile path will atomically replace it.
+            self._miss()
+            return None
+        self.hits += 1
+        _count("repro_plancache_hits_total",
+               "persistent plan-cache hits (profile+search skipped)")
+        note_phase("plan-cache", time.perf_counter() - started)
+        return plan
+
+    def store(self, key: str, plan: CompiledPlan, *,
+              graph_fingerprint: str, passes) -> bool:
+        """Publish an entry for ``key`` (atomic; best-effort).
+
+        ``passes`` must be the :class:`~repro.compiler.passes.PassOptions`
+        the plan was optimized under (orientation included) so the
+        rebuild replays the exact middle-end pipeline.  Returns False
+        when the entry could not be written (read-only dir, etc.) —
+        never raises for I/O trouble.
+        """
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "graph_fingerprint": graph_fingerprint,
+            "passes": passes,
+            "plan": _freeze_plan(plan),
+            "created": time.time(),
+        }
+        try:
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False  # unpicklable spec (shouldn't happen; stay safe)
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+            tmp = self.path / f".tmp-{key}-{os.getpid()}-{os.urandom(4).hex()}"
+            tmp.write_bytes(data)
+            os.replace(tmp, self.entry_path(key))
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except (OSError, UnboundLocalError):
+                pass
+            return False
+        self.stores += 1
+        _count("repro_plancache_stores_total",
+               "persistent plan-cache entries published")
+        return True
+
+    # ------------------------------------------------------------------
+    def compile_cached(
+        self,
+        pattern: Pattern,
+        profile_factory,
+        model,
+        *,
+        graph_fingerprint: str,
+        mode: str = "count",
+        induced: bool = False,
+        constraints: tuple = (),
+        options: SearchOptions | None = None,
+        orientation: str = "none",
+    ) -> tuple[CompiledPlan, bool]:
+        """The load-or-compile-and-store composite the session/daemon use.
+
+        ``profile_factory`` is a zero-argument callable returning the
+        :class:`CostProfile` — called only on a miss, which is exactly
+        what lets a warm request skip graph profiling.  Returns
+        ``(plan, hit)``.
+        """
+        options = options if options is not None else SearchOptions()
+        key = plan_key(
+            pattern,
+            graph_fingerprint=graph_fingerprint,
+            model_name=getattr(model, "name", str(model)),
+            mode=mode,
+            induced=induced,
+            constraints=constraints,
+            options=options,
+            orientation=orientation,
+        )
+        plan = self.load(key, graph_fingerprint=graph_fingerprint)
+        if plan is not None:
+            return plan, True
+        profile = profile_factory()
+        if not isinstance(profile, CostProfile):
+            raise TypeError(
+                f"profile_factory must return a CostProfile, got {profile!r}"
+            )
+        plan = compile_pattern(
+            pattern, profile, model, mode=mode, induced=induced,
+            constraints=constraints, options=options, orientation=orientation,
+        )
+        # Replay passes exactly as compile_pattern applied them: the
+        # orient knob is folded into the pass options for oriented
+        # requests (see pipeline.compile_pattern).
+        passes = options.passes
+        if orientation != "none":
+            from dataclasses import replace
+
+            passes = replace(passes, orient=orientation)
+        self.store(key, plan, graph_fingerprint=graph_fingerprint,
+                   passes=passes)
+        return plan, False
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def _miss(self) -> None:
+        self.misses += 1
+        _count("repro_plancache_misses_total",
+               "persistent plan-cache misses (cold compiles)")
+
+
+def _count(name: str, help_text: str) -> None:
+    from repro.observe import metrics as om
+
+    om.counter(name, help_text).inc()

@@ -35,6 +35,7 @@ class CSRGraph:
     __slots__ = (
         "indptr", "indices", "labels", "name", "_label_index",
         "_neighbor_views", "_degrees", "_degree_prefix", "_oriented_cache",
+        "shared_descriptor",
     )
 
     def __init__(
@@ -55,6 +56,11 @@ class CSRGraph:
         self._degrees: np.ndarray | None = None
         self._degree_prefix: np.ndarray | None = None
         self._oriented_cache: dict | None = None
+        #: Set by :mod:`repro.graph.shared` when this CSR is a view over
+        #: a shared-memory segment owned by a long-lived holder (the
+        #: serve daemon) — parallel runs then reuse that segment instead
+        #: of copying the graph into a fresh per-run one.
+        self.shared_descriptor = None
         if self.labels is not None and self.labels.shape[0] != self.num_vertices:
             raise ValueError(
                 f"labels array has {self.labels.shape[0]} entries for "

@@ -101,8 +101,10 @@ def _build_graph(descriptor: GraphDescriptor, buf) -> CSRGraph:
         views[field] = np.frombuffer(buf, dtype=np.int64, count=count,
                                      offset=offset)
     if descriptor.orientation is None:
-        return CSRGraph(views["indptr"], views["indices"],
-                        labels=views.get("labels"), name=descriptor.name)
+        graph = CSRGraph(views["indptr"], views["indices"],
+                         labels=views.get("labels"), name=descriptor.name)
+        graph.shared_descriptor = descriptor
+        return graph
     from repro.graph.transform import OrientedGraph
 
     # Bypass OrientedGraph.__init__: the split array is already in the
@@ -117,6 +119,7 @@ def _build_graph(descriptor: GraphDescriptor, buf) -> CSRGraph:
     graph._out_views = None
     graph._in_views = None
     graph._out_degree_prefix = None
+    graph.shared_descriptor = descriptor
     return graph
 
 

@@ -31,11 +31,13 @@ fig16 supervised 4-worker run).
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import itertools
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -45,11 +47,13 @@ __all__ = [
     "Ledger",
     "RunRecord",
     "active_ledger",
+    "current_tags",
     "disable_ledger",
     "enable_ledger",
     "graph_fingerprint",
     "new_run_id",
     "note_phase",
+    "run_tags",
     "take_phases",
 ]
 
@@ -79,6 +83,35 @@ def new_run_id() -> str:
     return (f"{int(time.time()):08x}"
             f"-{next(_RUN_SEQ):04x}"
             f"-{os.urandom(3).hex()}")
+
+
+#: Context-local tags stamped onto every record the current task
+#: produces — the daemon tags runs with the submitting client id.
+_RUN_TAGS: "contextvars.ContextVar[tuple]" = contextvars.ContextVar(
+    "repro_run_tags", default=()
+)
+
+
+def current_tags() -> dict:
+    """The tags the active :func:`run_tags` scope will stamp on records."""
+    return dict(_RUN_TAGS.get())
+
+
+@contextmanager
+def run_tags(**tags):
+    """Stamp ``tags`` onto every run recorded inside the scope.
+
+    Context-local (``contextvars``), so concurrent daemon requests on
+    different threads/tasks each see only their own tags; nested scopes
+    merge, inner keys winning.
+    """
+    merged = dict(_RUN_TAGS.get())
+    merged.update({k: v for k, v in tags.items() if v is not None})
+    token = _RUN_TAGS.set(tuple(merged.items()))
+    try:
+        yield
+    finally:
+        _RUN_TAGS.reset(token)
 
 
 def graph_fingerprint(graph) -> str:
@@ -182,6 +215,9 @@ class RunRecord:
     #: Salvage state of a cancelled/incomplete run (completed work
     #: fraction, chunk tallies, unfinished bounds), or None.
     salvage: dict | None = None
+    #: Caller-supplied tags (e.g. the daemon's client id) from the
+    #: enclosing :func:`run_tags` scope; empty for untagged runs.
+    tags: dict = field(default_factory=dict)
 
     @property
     def embedding_count(self) -> int | None:
@@ -217,6 +253,7 @@ class RunRecord:
             "phases": dict(self.phases),
             "cancelled": self.cancelled,
             "salvage": dict(self.salvage) if self.salvage else None,
+            "tags": dict(self.tags),
         }
 
     @classmethod
@@ -244,6 +281,7 @@ class RunRecord:
                        if record.get("cancelled") else None),
             salvage=(dict(record["salvage"])
                      if record.get("salvage") else None),
+            tags=dict(record.get("tags") or {}),
         )
 
 
@@ -419,6 +457,7 @@ def record_run(
         phases=phases,
         cancelled=getattr(result, "cancelled", None),
         salvage=getattr(result, "salvage", None),
+        tags=current_tags(),
     )
     _ACTIVE.append(record)
     return record

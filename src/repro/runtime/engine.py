@@ -20,8 +20,9 @@ Execution knobs are bundled in :class:`EngineOptions`; supervision knobs
 (budget, checkpoint, supervision toggle) in
 :class:`~repro.runtime.supervisor.RunPolicy`.  The pre-redesign kwargs
 (``workers=``/``chunks_per_worker=``/``executor=`` and
-``checkpoint=``/``supervised=``) still work for one release via a shim
-that emits :class:`DeprecationWarning`.
+``checkpoint=``/``supervised=``) were removed after their one-release
+deprecation window; passing one raises :class:`ExecutionError` naming
+the replacement.
 
 Parallel runs are *supervised* by default: chunk dispatch goes through
 :class:`repro.runtime.supervisor.Supervisor`, which retries chunks lost
@@ -41,7 +42,6 @@ import contextlib
 import itertools
 import os
 import time
-import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -201,14 +201,6 @@ class ExecutionMetrics:
         }
 
 
-def _warn_result_alias(old: str, new: str) -> None:
-    warnings.warn(
-        f"ExecutionResult.{old} is deprecated; use ExecutionResult.{new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 class ExecutionResult:
     """Outcome of a plan execution.
 
@@ -217,9 +209,9 @@ class ExecutionResult:
     entries for chunks that exhausted recovery (empty on clean runs);
     all remaining telemetry lives on ``metrics``
     (an :class:`ExecutionMetrics` read-only view).  The pre-redesign
-    telemetry attributes (``kernel_stats``, ``cache_hit_rate``,
-    ``kernel_calls``, ``retries``, ``resumed_chunks``,
-    ``pool_restarts``) remain as deprecated aliases.
+    flat telemetry attributes (``kernel_stats``, ``cache_hit_rate``,
+    ``retries``, ...) were removed with the options redesign — read
+    them off ``metrics``.
     """
 
     def __init__(
@@ -251,6 +243,9 @@ class ExecutionResult:
         #: ``fraction`` (degree-weighted), ``chunks_done``/``chunks_total``
         #: and the ``unfinished`` chunk bounds; None on clean runs.
         self.salvage = salvage
+        #: Ledger id of this execution's run record, or "" when no
+        #: ledger was active (set by ``execute_plan`` after recording).
+        self.run_id = ""
         self.metrics = ExecutionMetrics(
             kernel_stats=MappingProxyType(dict(kernel_stats or {})),
             retries=retries,
@@ -351,39 +346,6 @@ class ExecutionResult:
             lines.append(f"  ... +{len(self.failures) - 5} more")
         return "\n".join(lines)
 
-    # ------------------------------------------------------------------
-    # Deprecated telemetry aliases (one release; use ``.metrics``)
-    # ------------------------------------------------------------------
-    @property
-    def kernel_stats(self) -> Mapping[str, int]:
-        _warn_result_alias("kernel_stats", "metrics.kernel_stats")
-        return self.metrics.kernel_stats
-
-    @property
-    def cache_hit_rate(self) -> float:
-        _warn_result_alias("cache_hit_rate", "metrics.cache_hit_rate")
-        return self.metrics.cache_hit_rate
-
-    @property
-    def kernel_calls(self) -> int:
-        _warn_result_alias("kernel_calls", "metrics.kernel_calls")
-        return self.metrics.kernel_calls
-
-    @property
-    def retries(self) -> int:
-        _warn_result_alias("retries", "metrics.retries")
-        return self.metrics.retries
-
-    @property
-    def resumed_chunks(self) -> int:
-        _warn_result_alias("resumed_chunks", "metrics.resumed_chunks")
-        return self.metrics.resumed_chunks
-
-    @property
-    def pool_restarts(self) -> int:
-        _warn_result_alias("pool_restarts", "metrics.pool_restarts")
-        return self.metrics.pool_restarts
-
 
 def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
     """Split ``range(total)`` into ``chunks`` contiguous ranges."""
@@ -468,46 +430,51 @@ def _merge_stats(into: dict[str, int], part: dict[str, int]) -> None:
         into[key] = into.get(key, 0) + value
 
 
-def _resolve_options(options, workers, chunks_per_worker, executor,
-                     cache, faults) -> EngineOptions:
-    legacy = {
-        key: value
-        for key, value in (
-            ("workers", workers),
-            ("chunks_per_worker", chunks_per_worker),
-            ("executor", executor),
-            ("cache", cache),
-            ("faults", faults),
-        )
-        if value is not None
-    }
-    if legacy:
-        warnings.warn(
-            "passing "
-            + "/".join(f"{k}=" for k in legacy)
-            + " to execute_plan is deprecated; bundle them in "
-            "EngineOptions(...) via the `options` argument",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return replace(options or EngineOptions(), **legacy)
-    return options if options is not None else EngineOptions()
+#: Keywords that predate the EngineOptions/RunPolicy redesign, with the
+#: spelling that replaced each — kept only to produce a pointed error.
+_REMOVED_KWARGS = {
+    "workers": "EngineOptions(workers=...)",
+    "chunks_per_worker": "EngineOptions(chunks_per_worker=...)",
+    "executor": "EngineOptions(executor=...)",
+    "cache": "EngineOptions(cache=...)",
+    "faults": "EngineOptions(faults=...)",
+    "checkpoint": "RunPolicy(checkpoint=...)",
+    "supervised": "RunPolicy(supervised=...)",
+}
 
 
-def _resolve_policy(policy, checkpoint, supervised):
-    """Normalize (RunPolicy | RunBudget | None, legacy kwargs) into the
-    (budget, checkpoint, supervised, resources) tuple the engine works
-    with."""
+def _reject_removed_kwargs(caller: str, removed: dict) -> None:
+    if not removed:
+        return
+    unknown = sorted(set(removed) - set(_REMOVED_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword argument(s): "
+            + ", ".join(unknown)
+        )
+    replacements = "; ".join(
+        f"{key}= -> {_REMOVED_KWARGS[key]}" for key in sorted(removed)
+    )
+    raise ExecutionError(
+        f"{caller}({'/'.join(sorted(f'{k}=' for k in removed))}) was "
+        f"removed with the options redesign: {replacements} "
+        "(pass the bundle via the `options`/`policy` arguments)"
+    )
+
+
+def _resolve_policy(policy):
+    """Normalize RunPolicy | RunBudget | None into the (budget,
+    checkpoint, supervised, resources) tuple the engine works with."""
     from repro.runtime.resources import ResourceBudget
     from repro.runtime.supervisor import CheckpointStore, RunBudget, RunPolicy
 
-    budget = policy_checkpoint = policy_supervised = resources = None
+    budget = checkpoint = supervised = resources = None
     if isinstance(policy, RunBudget):
         budget = policy
     elif isinstance(policy, RunPolicy):
         budget = policy.budget
-        policy_checkpoint = policy.checkpoint
-        policy_supervised = policy.supervised
+        checkpoint = policy.checkpoint
+        supervised = policy.supervised
         resources = policy.resources
     elif policy is not None:
         raise ExecutionError(
@@ -518,18 +485,6 @@ def _resolve_policy(policy, checkpoint, supervised):
             f"RunPolicy.resources must be a ResourceBudget, got "
             f"{resources!r}"
         )
-    if checkpoint is not None or supervised is not None:
-        warnings.warn(
-            "passing checkpoint=/supervised= to execute_plan is "
-            "deprecated; fold them into a RunPolicy via the `policy` "
-            "argument",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    if checkpoint is None:
-        checkpoint = policy_checkpoint
-    if supervised is None:
-        supervised = policy_supervised
     if checkpoint is not None and not hasattr(checkpoint, "record"):
         checkpoint = CheckpointStore(checkpoint)
     return budget, checkpoint, supervised, resources
@@ -603,14 +558,7 @@ def execute_plan(
     ctx: ExecutionContext | None = None,
     options: EngineOptions | None = None,
     policy=None,
-    *,
-    workers: int | None = None,
-    chunks_per_worker: int | None = None,
-    executor: str | None = None,
-    cache=None,
-    faults=None,
-    checkpoint=None,
-    supervised: bool | None = None,
+    **removed,
 ) -> ExecutionResult:
     """Execute a compiled plan.
 
@@ -631,14 +579,13 @@ def execute_plan(
 
     The keyword spellings predating :class:`EngineOptions` and the
     ``RunPolicy`` fold (``workers=``, ``chunks_per_worker=``,
-    ``executor=``, ``checkpoint=``, ``supervised=``) keep working for
-    one release and emit :class:`DeprecationWarning`.
+    ``executor=``, ``checkpoint=``, ``supervised=``, ...) were removed
+    after their deprecation release; passing one raises
+    :class:`ExecutionError` naming the replacement spelling.
     """
-    options = _resolve_options(options, workers, chunks_per_worker, executor,
-                               cache, faults)
-    policy_budget, checkpoint, supervised, resources = _resolve_policy(
-        policy, checkpoint, supervised
-    )
+    _reject_removed_kwargs("execute_plan", removed)
+    options = options if options is not None else EngineOptions()
+    policy_budget, checkpoint, supervised, resources = _resolve_policy(policy)
     if ctx is None:
         ctx = ExecutionContext(plan.root.num_tables, cache=options.cache,
                                faults=options.faults)
@@ -855,10 +802,12 @@ def execute_plan(
     # correction) executions record under their own fingerprints.
     from repro.observe import ledger as ledger_mod
 
-    ledger_mod.record_run(
+    record = ledger_mod.record_run(
         plan, graph, options, result, budget=policy_budget,
         checkpoint=checkpoint, supervised=supervised, aux=_IN_AUX,
     )
+    if record is not None:
+        result.run_id = record.run_id
     return result
 
 
@@ -1053,6 +1002,15 @@ def _share_state_graph(state: dict, enabled: bool = True):
     re-fork from the parent and must still find the segment).
     """
     if not enabled:
+        return None
+    descriptor = getattr(state["graph"], "shared_descriptor", None)
+    if descriptor is not None:
+        # The graph is already a view over a long-lived shared segment
+        # (the serve daemon holds one for its whole lifetime): point
+        # workers at it and leave ownership — and cleanup — with the
+        # holder.
+        state["graph"] = None
+        state["graph_descriptor"] = descriptor
         return None
     from repro.graph import shared
 

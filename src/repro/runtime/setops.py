@@ -390,7 +390,7 @@ class SetOpCache:
 
     The cache is bounded (``capacity`` entries, FIFO eviction) and keeps
     hit/miss/eviction counters that the engine folds into
-    ``ExecutionResult.kernel_stats``.
+    ``ExecutionResult.metrics.kernel_stats``.
     """
 
     __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")

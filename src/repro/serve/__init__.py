@@ -1,0 +1,23 @@
+"""Mining-as-a-service: the ``repro serve`` daemon and its client.
+
+One long-lived process holds one graph in a shared-memory segment and
+multiplexes concurrent counting requests over it:
+
+* :class:`~repro.serve.server.MiningServer` — accepts JSON-lines
+  requests on a Unix socket, admission-controls them against a bounded
+  in-flight/pending budget, executes them through a single
+  :class:`~repro.api.session.DecoMine` session (persistent plan cache
+  attached, per-request deadlines via ``RunPolicy``), and tags every
+  ledger row with the submitting client id.
+* :class:`~repro.serve.client.Client` — a thin blocking client speaking
+  the same :class:`~repro.api.messages.MiningRequest` /
+  :class:`~repro.api.messages.MiningResponse` wire format.
+
+See docs/SERVING.md for the protocol, admission control, plan-cache
+layout and metrics.
+"""
+
+from repro.serve.client import Client
+from repro.serve.server import MiningServer, ServerConfig
+
+__all__ = ["Client", "MiningServer", "ServerConfig"]

@@ -1,0 +1,112 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+One :class:`Client` holds one connection; calls are serialized with a
+lock, so a client instance is safe to share across threads (each thread
+simply waits its turn — open one client per thread for true
+concurrency).  All calls raise :class:`~repro.exceptions.ReproError`
+on daemon-side errors; admission rejections are *not* errors — they
+come back as a normal :class:`~repro.api.messages.MiningResponse` with
+``ok=False`` and the rejection reason in ``error``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.api.messages import MiningRequest, MiningResponse
+from repro.exceptions import ReproError
+from repro.patterns.pattern import Pattern
+from repro.serve.protocol import read_message, send_message
+
+__all__ = ["Client"]
+
+
+class Client:
+    def __init__(self, socket_path: str, *, client_id: str = "client",
+                 timeout: float = 120.0) -> None:
+        self.socket_path = socket_path
+        self.client_id = client_id
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(socket_path)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach repro serve at {socket_path}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        pattern: "Pattern | str | dict",
+        *,
+        induced: bool = False,
+        deadline_s: float | None = None,
+        engine=None,
+        request_id: str = "",
+    ) -> MiningResponse:
+        """Count ``pattern`` on the daemon's graph.
+
+        ``pattern`` may be a :class:`Pattern`, a catalog name
+        (``"house"``, ``"5-cycle"``), or a wire dict.
+        """
+        from repro.api.messages import pattern_from_wire
+
+        request = MiningRequest(
+            pattern=pattern_from_wire(pattern),
+            induced=induced,
+            deadline_s=deadline_s,
+            engine=engine,
+            client_id=self.client_id,
+            request_id=request_id,
+        )
+        reply = self._rpc({"op": "submit", "request": request.to_wire()})
+        if reply.get("op") != "response":
+            raise ReproError(f"unexpected reply {reply.get('op')!r}")
+        return MiningResponse.from_wire(reply["response"])
+
+    def ping(self) -> dict:
+        """Daemon liveness + stats snapshot."""
+        reply = self._rpc({"op": "ping"})
+        if reply.get("op") != "pong":
+            raise ReproError(f"unexpected reply {reply.get('op')!r}")
+        return reply["stats"]
+
+    def stats(self) -> dict:
+        """Stats snapshot plus the full metrics-registry snapshot."""
+        reply = self._rpc({"op": "stats"})
+        if reply.get("op") != "stats":
+            raise ReproError(f"unexpected reply {reply.get('op')!r}")
+        return reply
+
+    def shutdown(self) -> bool:
+        """Ask the daemon to drain and exit."""
+        reply = self._rpc({"op": "shutdown"})
+        return reply.get("op") == "bye"
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _rpc(self, message: dict) -> dict:
+        with self._lock:
+            send_message(self._sock, message)
+            reply = read_message(self._reader)
+        if reply is None:
+            raise ReproError("daemon closed the connection")
+        if reply.get("op") == "error":
+            raise ReproError(f"daemon error: {reply.get('error')}")
+        return reply

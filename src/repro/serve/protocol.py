@@ -1,0 +1,62 @@
+"""JSON-lines wire protocol for the ``repro serve`` daemon.
+
+Every message is one JSON object on one ``\\n``-terminated line over a
+``SOCK_STREAM`` Unix socket.  Requests carry an ``op``:
+
+* ``{"op": "submit", "request": {...MiningRequest wire...}}`` →
+  ``{"op": "response", "response": {...MiningResponse wire...}}``
+* ``{"op": "ping"}`` → ``{"op": "pong", "stats": {...}}``
+* ``{"op": "stats"}`` → ``{"op": "stats", "stats": {...}, "metrics": {...}}``
+* ``{"op": "shutdown"}`` → ``{"op": "bye"}`` and the daemon drains and
+  exits.
+
+Malformed input produces ``{"op": "error", "error": "..."}`` and the
+connection stays usable.  Lines are capped at :data:`MAX_LINE_BYTES`
+(oversized lines error out rather than buffering without bound).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "read_message",
+    "send_message",
+]
+
+#: Upper bound for one protocol line; far above any legitimate message
+#: (patterns are tiny), small enough to bound a hostile client.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized protocol message."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Serialize one message and write it as a single line."""
+    data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds line cap")
+    sock.sendall(data)
+
+
+def read_message(reader) -> dict | None:
+    """Read one message from a buffered binary reader; None on EOF."""
+    line = reader.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("protocol line exceeds the size cap")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return message

@@ -1,0 +1,154 @@
+"""Wire codecs and validation for MiningRequest / MiningResponse."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.messages import (
+    MiningRequest,
+    MiningResponse,
+    pattern_from_wire,
+    pattern_to_wire,
+)
+from repro.exceptions import ReproError
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+from repro.runtime.engine import EngineOptions
+
+
+class TestPatternWire:
+    @pytest.mark.parametrize("make", [
+        catalog.triangle, catalog.house, catalog.net, catalog.gem,
+        lambda: catalog.cycle(5), lambda: catalog.clique(4),
+    ])
+    def test_roundtrip_preserves_structure(self, make):
+        pattern = make()
+        wire = pattern_to_wire(pattern)
+        json.dumps(wire)  # must be JSON-able as-is
+        decoded = pattern_from_wire(wire)
+        assert decoded.n == pattern.n
+        assert decoded.edge_set == pattern.edge_set
+        assert decoded.labels == pattern.labels
+
+    def test_labels_roundtrip(self):
+        pattern = Pattern(3, [(0, 1), (1, 2), (0, 2)], labels=[1, 1, 2])
+        decoded = pattern_from_wire(pattern_to_wire(pattern))
+        assert decoded.labels == (1, 1, 2)
+
+    def test_catalog_names(self):
+        assert pattern_from_wire("house").n == 5
+        assert pattern_from_wire("5-cycle").n == 5
+        assert pattern_from_wire("4-clique").num_edges == 6
+        assert pattern_from_wire("3-star").n == 4
+
+    def test_pattern_passthrough(self):
+        house = catalog.house()
+        assert pattern_from_wire(house) is house
+
+    @pytest.mark.parametrize("bad", [
+        "pentagon", "x-cycle", "-cycle", 42, None, ["edges"],
+        {"edges": [[0, 1]]},               # missing n
+        {"n": 3, "edges": [[0, 1, 2]]},    # malformed edge
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ReproError):
+            pattern_from_wire(bad)
+
+
+class TestMiningRequest:
+    def test_roundtrip_with_overrides(self):
+        request = MiningRequest(
+            pattern=catalog.house(),
+            induced=True,
+            engine=EngineOptions(workers=2, executor="vectorized"),
+            deadline_s=1.5,
+            client_id="tenant-a",
+            request_id="r1",
+        )
+        wire = request.to_wire()
+        json.dumps(wire)
+        decoded = MiningRequest.from_wire(wire)
+        assert decoded.pattern.edge_set == request.pattern.edge_set
+        assert decoded.induced is True
+        assert decoded.deadline_s == 1.5
+        assert decoded.client_id == "tenant-a"
+        assert decoded.request_id == "r1"
+        assert decoded.engine.workers == 2
+        assert decoded.engine.executor == "vectorized"
+
+    def test_minimal_roundtrip_defaults(self):
+        wire = MiningRequest(pattern=catalog.triangle()).to_wire()
+        decoded = MiningRequest.from_wire(wire)
+        assert decoded.mode == "count"
+        assert decoded.engine is None
+        assert decoded.deadline_s is None
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="mode"):
+            MiningRequest(pattern=catalog.triangle(), mode="explode")
+        with pytest.raises(ReproError, match="constrained"):
+            MiningRequest(pattern=catalog.triangle(),
+                          constraints=((0, 1),))
+        with pytest.raises(ReproError, match="deadline"):
+            MiningRequest(pattern=catalog.triangle(), deadline_s=0)
+
+    def test_non_count_modes_cannot_cross_the_wire(self):
+        request = MiningRequest(pattern=catalog.triangle(), mode="mine")
+        with pytest.raises(ReproError, match="cross the wire"):
+            request.to_wire()
+
+    def test_from_wire_rejects_unknown_fields(self):
+        wire = MiningRequest(pattern=catalog.triangle()).to_wire()
+        wire["surprise"] = 1
+        with pytest.raises(ReproError, match="unknown request fields"):
+            MiningRequest.from_wire(wire)
+        with pytest.raises(ReproError, match="missing 'pattern'"):
+            MiningRequest.from_wire({"mode": "count"})
+        with pytest.raises(ReproError):
+            MiningRequest.from_wire("not a dict")
+
+    def test_engine_wire_rejects_local_only_fields(self):
+        wire = MiningRequest(pattern=catalog.triangle()).to_wire()
+        wire["engine"] = {"workers": 2, "faults": {"boom": True}}
+        with pytest.raises(ReproError, match="unknown engine fields"):
+            MiningRequest.from_wire(wire)
+
+    def test_frozen(self):
+        request = MiningRequest(pattern=catalog.triangle())
+        with pytest.raises(Exception):
+            request.mode = "mine"
+
+
+class TestMiningResponse:
+    def test_roundtrip(self):
+        response = MiningResponse(
+            request_id="r1", client_id="t", ok=True, count=181,
+            raw_count=181, run_id="run-1", plan_key="abc",
+            plan_cache_hit=True, seconds=0.25,
+            metrics={"kernel_calls": 7},
+        )
+        wire = response.to_wire()
+        json.dumps(wire)
+        decoded = MiningResponse.from_wire(wire)
+        assert decoded == response
+
+    def test_failure_shape_roundtrip(self):
+        response = MiningResponse(
+            request_id="r2", client_id="t", ok=False,
+            cancelled="deadline", salvage={"completed_chunks": 3},
+            error="deadline exceeded",
+        )
+        decoded = MiningResponse.from_wire(response.to_wire())
+        assert decoded.ok is False
+        assert decoded.count is None
+        assert decoded.cancelled == "deadline"
+        assert decoded.salvage == {"completed_chunks": 3}
+
+    def test_from_wire_rejects_unknown_fields(self):
+        wire = MiningResponse(request_id="r", client_id="c",
+                              ok=True).to_wire()
+        wire["bogus"] = 1
+        with pytest.raises(ReproError, match="unknown response fields"):
+            MiningResponse.from_wire(wire)

@@ -18,7 +18,7 @@ from repro.patterns.decomposition import all_decompositions
 from repro.patterns.generation import all_connected_patterns
 from repro.patterns.matching_order import connected_orders, extension_orders
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import chunk_ranges, execute_plan
+from repro.runtime.engine import EngineOptions, chunk_ranges, execute_plan
 from repro.runtime.hashtable import NaiveTable, ShrinkageTable
 
 
@@ -104,8 +104,10 @@ class TestEngine:
     def test_execute_plan_interpreter_backend(self, small_random_graph):
         pattern = catalog.chain(4)
         plan = compile_spec(decomp_spec(pattern))
-        a = execute_plan(plan, small_random_graph, executor="codegen")
-        b = execute_plan(plan, small_random_graph, executor="interpreter")
+        a = execute_plan(plan, small_random_graph,
+                         options=EngineOptions(executor="codegen"))
+        b = execute_plan(plan, small_random_graph,
+                         options=EngineOptions(executor="interpreter"))
         assert a.embedding_count == b.embedding_count
 
     def test_unknown_executor_rejected(self, small_random_graph):
@@ -113,13 +115,16 @@ class TestEngine:
 
         plan = compile_spec(decomp_spec(catalog.chain(3)))
         with pytest.raises(ExecutionError):
-            execute_plan(plan, small_random_graph, executor="jit")
+            execute_plan(plan, small_random_graph,
+                         options=EngineOptions(executor="jit"))
 
     def test_parallel_execution_matches_serial(self, medium_random_graph):
         pattern = catalog.cycle(4)
         plan = compile_spec(decomp_spec(pattern))
-        serial = execute_plan(plan, medium_random_graph, workers=1)
-        parallel = execute_plan(plan, medium_random_graph, workers=2)
+        serial = execute_plan(plan, medium_random_graph,
+                              options=EngineOptions(workers=1))
+        parallel = execute_plan(plan, medium_random_graph,
+                                options=EngineOptions(workers=2))
         assert parallel.raw_count == serial.raw_count
         assert len(parallel.chunk_seconds) > 1
         assert 0.0 < parallel.work_balance() <= 1.0
@@ -131,9 +136,11 @@ class TestEngine:
 
         plan = compile_spec(decomp_spec(catalog.chain(3)), mode="emit")
         with pytest.raises(ExecutionError):
-            execute_plan(plan, small_random_graph, workers=2)
+            execute_plan(plan, small_random_graph,
+                         options=EngineOptions(workers=2))
         with pytest.raises(ReproError):
-            execute_plan(plan, small_random_graph, workers=2)
+            execute_plan(plan, small_random_graph,
+                         options=EngineOptions(workers=2))
 
 
 class TestHashTables:

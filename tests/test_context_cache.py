@@ -10,7 +10,7 @@ from repro.compiler.specs import DirectSpec
 from repro.patterns import catalog
 from repro.patterns.matching_order import connected_orders
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 from repro.runtime.setops import DEFAULT_CACHE_CAPACITY, DTYPE, SetOpCache
 
 
@@ -185,24 +185,25 @@ class TestEndToEnd:
         full = execute_plan(
             plan, graph, ctx=ExecutionContext(plan.root.num_tables))
         assert tiny.accumulators == full.accumulators
-        assert tiny.kernel_stats["cache_evictions"] > 0
+        assert tiny.metrics.kernel_stats["cache_evictions"] > 0
 
     def test_execution_surfaces_cache_counters(self, graph):
         plan = direct_plan(catalog.house())
         result = execute_plan(plan, graph)
-        stats = result.kernel_stats
+        stats = result.metrics.kernel_stats
         assert stats["cache_misses"] > 0
         # House plans re-intersect identity-stable neighbor slices, so
         # the memo cache must actually hit.
         assert stats["cache_hits"] > 0
-        assert 0.0 < result.cache_hit_rate < 1.0
-        assert result.kernel_calls > 0
+        assert 0.0 < result.metrics.cache_hit_rate < 1.0
+        assert result.metrics.kernel_calls > 0
 
     def test_parallel_execution_merges_chunk_counters(self, graph):
         plan = direct_plan(catalog.house())
         serial = execute_plan(plan, graph)
-        parallel = execute_plan(plan, graph, workers=2)
+        parallel = execute_plan(plan, graph,
+                                options=EngineOptions(workers=2))
         assert parallel.embedding_count == serial.embedding_count
-        lookups = (parallel.kernel_stats["cache_hits"]
-                   + parallel.kernel_stats["cache_misses"])
+        lookups = (parallel.metrics.kernel_stats["cache_hits"]
+                   + parallel.metrics.kernel_stats["cache_misses"])
         assert lookups > 0

@@ -1,14 +1,17 @@
-"""The options redesign keeps every pre-redesign spelling alive for one
-release behind :class:`DeprecationWarning` shims.  These tests pin both
-halves of that contract: the old spellings *warn*, and they still
-*work* — routed onto :class:`EngineOptions` / :class:`RunPolicy` /
-``ExecutionResult.metrics`` with unchanged behavior.
+"""The pre-redesign option spellings are **gone**.
+
+PR 4's options redesign kept every old spelling alive for one release
+behind ``DeprecationWarning`` shims; that window has closed.  These
+tests pin the removal contract: the old spellings now raise a clear
+error *naming the replacement* (``ReproError``/``ExecutionError`` for
+known removed keywords, plain ``TypeError`` for genuinely unknown
+ones), the removed result-alias attributes are really gone, and the
+current spellings work without emitting any warning.
 """
 
 from __future__ import annotations
 
 import warnings
-from pathlib import Path
 
 import pytest
 
@@ -16,7 +19,7 @@ from repro.api.session import DecoMine
 from repro.baselines import reference
 from repro.compiler.pipeline import compile_pattern
 from repro.costmodel import profile_graph
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, ReproError
 from repro.graph.generators import erdos_renyi
 from repro.patterns import catalog
 from repro.runtime.engine import (
@@ -24,6 +27,7 @@ from repro.runtime.engine import (
     ExecutionResult,
     execute_plan,
 )
+from repro.runtime.supervisor import RunPolicy
 
 
 @pytest.fixture(scope="module")
@@ -55,97 +59,86 @@ class TestEngineOptionsValidation:
         assert options.faults is None
 
 
-class TestExecutePlanLegacyKwargs:
-    def test_workers_kwarg_warns_and_routes(self, case):
-        graph, plan, expected = case
-        with pytest.warns(DeprecationWarning,
-                          match="workers=.*deprecated.*EngineOptions"):
-            result = execute_plan(plan, graph, workers=2,
-                                  chunks_per_worker=3)
-        assert result.embedding_count == expected
-        # Routed: 2 workers x 3 chunks_per_worker chunks were produced.
-        assert len(result.chunk_seconds) == 6
-
-    def test_executor_kwarg_warns_and_routes(self, case):
-        graph, plan, expected = case
-        with pytest.warns(DeprecationWarning, match="executor="):
-            result = execute_plan(plan, graph, executor="interpreter")
-        assert result.embedding_count == expected
-
-    def test_invalid_legacy_values_still_validate(self, case):
+class TestExecutePlanRemovedKwargs:
+    @pytest.mark.parametrize("kwargs, replacement", [
+        ({"workers": 2}, "EngineOptions(workers=...)"),
+        ({"chunks_per_worker": 3}, "EngineOptions(chunks_per_worker=...)"),
+        ({"executor": "interpreter"}, "EngineOptions(executor=...)"),
+        ({"cache": False}, "EngineOptions(cache=...)"),
+        ({"checkpoint": "x.jsonl"}, "RunPolicy(checkpoint=...)"),
+        ({"supervised": True}, "RunPolicy(supervised=...)"),
+    ])
+    def test_removed_kwarg_raises_naming_replacement(self, case, kwargs,
+                                                     replacement):
         graph, plan, _ = case
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ExecutionError,
-                               match="workers must be >= 1"):
-                execute_plan(plan, graph, workers=0)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ExecutionError, match="unknown executor"):
-                execute_plan(plan, graph, executor="gpu")
+        name = next(iter(kwargs))
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_plan(plan, graph, **kwargs)
+        message = str(excinfo.value)
+        assert name in message
+        assert replacement in message
 
-    def test_legacy_kwargs_override_options_bundle(self, case):
+    def test_multiple_removed_kwargs_all_named(self, case):
+        graph, plan, _ = case
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_plan(plan, graph, workers=2, supervised=True)
+        message = str(excinfo.value)
+        assert "workers" in message and "supervised" in message
+
+    def test_unknown_kwarg_is_a_type_error(self, case):
+        graph, plan, _ = case
+        with pytest.raises(TypeError, match="bogus"):
+            execute_plan(plan, graph, bogus=1)
+
+    def test_new_spellings_work_without_warning(self, case):
         graph, plan, expected = case
-        with pytest.warns(DeprecationWarning):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             result = execute_plan(
                 plan, graph, options=EngineOptions(workers=2,
-                                                   chunks_per_worker=2),
-                chunks_per_worker=4,
+                                                   chunks_per_worker=3),
             )
         assert result.embedding_count == expected
-        assert len(result.chunk_seconds) == 8  # 2 workers x overridden 4
-
-    def test_checkpoint_kwarg_warns_and_routes(self, case, tmp_path):
-        graph, plan, expected = case
-        path = str(tmp_path / "legacy.jsonl")
-        with pytest.warns(DeprecationWarning,
-                          match="checkpoint=/supervised=.*RunPolicy"):
-            result = execute_plan(plan, graph, checkpoint=path)
-        assert result.embedding_count == expected
-        assert Path(path).exists()  # checkpoint really was written
-
-    def test_supervised_kwarg_warns_and_routes(self, case):
-        graph, plan, expected = case
-        with pytest.warns(DeprecationWarning,
-                          match="checkpoint=/supervised="):
-            result = execute_plan(plan, graph, supervised=True)
-        assert result.embedding_count == expected
-
-    def test_new_spellings_do_not_warn(self, case):
-        graph, plan, expected = case
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            result = execute_plan(
-                plan, graph, options=EngineOptions(workers=2),
-            )
-        assert result.embedding_count == expected
+        assert len(result.chunk_seconds) == 6
 
 
-class TestSessionLegacyKwargs:
-    def test_workers_and_executor_warn_and_route(self, case):
-        graph, _, expected = case
-        with pytest.warns(DeprecationWarning,
-                          match="DecoMine.*deprecated.*EngineOptions"):
-            session = DecoMine(graph, workers=2, executor="interpreter")
-        assert session.engine_options.workers == 2
-        assert session.engine_options.executor == "interpreter"
-        assert session.get_pattern_count(catalog.house()) == expected
+class TestSessionRemovedKwargs:
+    def test_workers_kwarg_raises_naming_replacement(self, case):
+        graph, _, _ = case
+        with pytest.raises(ReproError,
+                           match=r"workers= was removed.*EngineOptions"):
+            DecoMine(graph, workers=2)
 
-    def test_deprecated_attribute_spellings(self, case):
+    def test_executor_kwarg_raises_naming_replacement(self, case):
+        graph, _, _ = case
+        with pytest.raises(ReproError,
+                           match=r"executor= was removed.*EngineOptions"):
+            DecoMine(graph, executor="interpreter")
+
+    def test_unknown_kwarg_is_a_type_error(self, case):
+        graph, _, _ = case
+        with pytest.raises(TypeError, match="bogus"):
+            DecoMine(graph, bogus=1)
+
+    def test_deprecated_attribute_spellings_are_gone(self, case):
         graph, _, _ = case
         session = DecoMine(graph, engine=EngineOptions(workers=3))
-        with pytest.warns(DeprecationWarning, match="DecoMine.workers"):
-            assert session.workers == 3
-        with pytest.warns(DeprecationWarning, match="DecoMine.executor"):
-            assert session.executor == "codegen"
+        with pytest.raises(AttributeError):
+            session.workers
+        with pytest.raises(AttributeError):
+            session.executor
+        assert session.engine_options.workers == 3
 
-    def test_engine_bundle_does_not_warn(self, case):
+    def test_engine_bundle_works_without_warning(self, case):
         graph, _, expected = case
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            session = DecoMine(graph, engine=EngineOptions(workers=1))
+            warnings.simplefilter("error")
+            session = DecoMine(graph, engine=EngineOptions(workers=1),
+                               run_policy=RunPolicy(supervised=False))
             assert session.get_pattern_count(catalog.house()) == expected
 
 
-class TestResultAliasShims:
+class TestResultAliasesRemoved:
     def _result(self):
         return ExecutionResult(
             {"acc_count": 12}, 0.5, 2,
@@ -158,18 +151,18 @@ class TestResultAliasShims:
         "kernel_stats", "cache_hit_rate", "kernel_calls",
         "retries", "resumed_chunks", "pool_restarts",
     ])
-    def test_alias_warns_and_matches_metrics(self, alias):
+    def test_flat_alias_is_gone(self, alias):
         result = self._result()
-        with pytest.warns(DeprecationWarning,
-                          match=rf"ExecutionResult\.{alias} is deprecated"):
-            old = getattr(result, alias)
-        new = getattr(result.metrics, alias)
-        assert old == new
+        with pytest.raises(AttributeError):
+            getattr(result, alias)
 
-    def test_metrics_access_does_not_warn(self):
+    def test_metrics_access_works_without_warning(self):
         result = self._result()
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             assert result.metrics.retries == 4
+            assert result.metrics.resumed_chunks == 2
+            assert result.metrics.pool_restarts == 1
             assert result.metrics.kernel_stats["cache_hits"] == 3
             assert result.metrics.cache_hit_rate == pytest.approx(0.75)
+            assert result.metrics.kernel_calls == 7

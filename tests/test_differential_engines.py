@@ -94,13 +94,13 @@ def test_cache_disabled_matches_reference(graph_case):
         result = execute_plan(plan, graph, ctx=ctx_off)
         assert result.embedding_count == expected[name]
         if not plan.aux_plans:  # aux corrections run with their own cache
-            assert result.kernel_stats.get("cache_hits", 0) == 0
+            assert result.metrics.kernel_stats.get("cache_hits", 0) == 0
 
 
 def test_parallel_execution_agrees(graph_case):
     graph, profile, expected = graph_case
     plan = compile_pattern(PATTERNS["house"], profile)
-    result = execute_plan(plan, graph, workers=2)
+    result = execute_plan(plan, graph, options=EngineOptions(workers=2))
     assert result.embedding_count == expected["house"]
 
 

@@ -27,7 +27,7 @@ from repro.exceptions import ExecutionError
 from repro.graph.generators import erdos_renyi
 from repro.patterns import catalog
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 from repro.runtime.faults import Fault, FaultPlan
 from repro.runtime.resources import (
     CANCEL_REASONS,
@@ -58,9 +58,11 @@ def case():
     return graph, plan, expected
 
 
-def governed_policy(resources=None, **budget_kwargs) -> RunPolicy:
+def governed_policy(resources=None, checkpoint=None,
+                    **budget_kwargs) -> RunPolicy:
     return RunPolicy(
         budget=RunBudget(backoff_s=0.001, **budget_kwargs),
+        checkpoint=checkpoint,
         supervised=True,
         resources=resources if resources is not None else ResourceBudget(),
     )
@@ -359,7 +361,8 @@ class TestGovernedExecution:
         graph, plan, expected = case
         faults = FaultPlan((Fault("oom", 0, attempts=None),))
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
-        result = execute_plan(plan, graph, ctx=ctx, workers=2,
+        result = execute_plan(plan, graph, ctx=ctx,
+                              options=EngineOptions(workers=2),
                               policy=governed_policy())
         assert result.embedding_count == expected
         assert result.metrics.bisections >= 1
@@ -397,7 +400,7 @@ class TestGovernedExecution:
         enable_ledger(tmp_path / "ledger.jsonl")
         try:
             result = execute_plan(
-                plan, graph, ctx=ctx, workers=2,
+                plan, graph, ctx=ctx, options=EngineOptions(workers=2),
                 policy=governed_policy(deadline_s=0.2),
             )
         finally:
@@ -459,9 +462,10 @@ class TestGraceDrainAndBisectedResume:
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
         with CheckpointStore(path) as store:
             result = execute_plan(
-                plan, graph, ctx=ctx, workers=2, chunks_per_worker=1,
-                checkpoint=store,
+                plan, graph, ctx=ctx,
+                options=EngineOptions(workers=2, chunks_per_worker=1),
                 policy=governed_policy(
+                    checkpoint=store,
                     chunk_timeout_s=0.2, drain_grace_s=0.6,
                     poll_interval_s=0.01,
                 ),
@@ -493,8 +497,8 @@ class TestGraceDrainAndBisectedResume:
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
         with CheckpointStore(path) as store:
             first = execute_plan(
-                plan, graph, ctx=ctx, checkpoint=store,
-                policy=governed_policy(deadline_s=0.3),
+                plan, graph, ctx=ctx,
+                policy=governed_policy(deadline_s=0.3, checkpoint=store),
             )
         assert not first.ok
         assert first.cancelled == "deadline"
@@ -505,8 +509,8 @@ class TestGraceDrainAndBisectedResume:
         # Resume without faults or deadline: bisected children recorded
         # by run one are adopted, only unfinished ranges re-execute.
         with CheckpointStore(path) as store:
-            second = execute_plan(plan, graph, checkpoint=store,
-                                  policy=governed_policy())
+            second = execute_plan(plan, graph,
+                                  policy=governed_policy(checkpoint=store))
         assert second.embedding_count == expected
         assert second.ok
         assert second.metrics.resumed_chunks >= 2

@@ -17,7 +17,7 @@ from repro.exceptions import (
 )
 from repro.graph.generators import cap_degrees, power_law
 from repro.patterns import catalog
-from repro.runtime.engine import ExecutionResult, execute_plan
+from repro.runtime.engine import EngineOptions, ExecutionResult, execute_plan
 
 
 class TestExceptions:
@@ -118,7 +118,8 @@ class TestEngineEdgeCases:
 
     def test_parallel_on_tiny_graph(self, k4_graph):
         plan = compile_spec(DirectSpec(catalog.triangle(), (0, 1, 2)))
-        result = execute_plan(plan, k4_graph, workers=3)
+        result = execute_plan(plan, k4_graph,
+                              options=EngineOptions(workers=3))
         # 4 triangles x |Aut| = 24 raw / divisor(1 with restrictions? no
         # restrictions here) -> 24 / 6.
         assert result.embedding_count == 4

@@ -23,7 +23,12 @@ from repro.graph.generators import erdos_renyi
 from repro.patterns import catalog
 from repro.runtime import engine
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import ExecutionResult, chunk_ranges, execute_plan
+from repro.runtime.engine import (
+    EngineOptions,
+    ExecutionResult,
+    chunk_ranges,
+    execute_plan,
+)
 from repro.runtime.faults import Fault, FaultPlan, InjectedFault
 from repro.runtime.supervisor import (
     CheckpointStore,
@@ -102,12 +107,13 @@ class TestValidation:
     def test_workers_below_one(self, case):
         graph, plan, _ = case
         with pytest.raises(ExecutionError, match="workers"):
-            execute_plan(plan, graph, workers=0)
+            execute_plan(plan, graph, options=EngineOptions(workers=0))
 
     def test_chunks_per_worker_below_one(self, case):
         graph, plan, _ = case
         with pytest.raises(ExecutionError, match="chunks_per_worker"):
-            execute_plan(plan, graph, chunks_per_worker=0)
+            execute_plan(
+                plan, graph, options=EngineOptions(chunks_per_worker=0))
 
     def test_execution_error_is_repro_error(self):
         assert issubclass(ExecutionError, ReproError)
@@ -159,22 +165,22 @@ class TestCheckpointStore:
 class TestSupervisedExecution:
     def test_serial_supervised_matches_unsupervised(self, case):
         graph, plan, expected = case
-        result = execute_plan(plan, graph, policy=RunBudget(),
-                              supervised=True)
+        result = execute_plan(plan, graph, policy=RunPolicy(
+            budget=RunBudget(), supervised=True))
         assert result.embedding_count == expected
         assert result.ok
-        assert result.retries == 0
-        assert result.resumed_chunks == 0
+        assert result.metrics.retries == 0
+        assert result.metrics.resumed_chunks == 0
         # One timing entry per chunk, not one for the whole run.
         assert len(result.chunk_seconds) == len(chunk_ranges(
             graph.num_vertices, 4))
 
     def test_pool_supervised_matches(self, case):
         graph, plan, expected = case
-        result = execute_plan(plan, graph, workers=2)
+        result = execute_plan(plan, graph, options=EngineOptions(workers=2))
         assert result.embedding_count == expected
-        assert result.pool_restarts == 0
-        assert result.kernel_calls > 0
+        assert result.metrics.pool_restarts == 0
+        assert result.metrics.kernel_calls > 0
 
     def test_retry_recovers_exact_count(self, case):
         graph, plan, expected = case
@@ -183,7 +189,7 @@ class TestSupervisedExecution:
         result = execute_plan(plan, graph, ctx=ctx,
                               policy=RunBudget(backoff_s=0.001))
         assert result.embedding_count == expected
-        assert result.retries == 2
+        assert result.metrics.retries == 2
         assert result.ok
 
     def test_retry_exhaustion_surfaces_chunk_failure(self, case):
@@ -202,7 +208,7 @@ class TestSupervisedExecution:
         assert failure.bounds in chunk_ranges(graph.num_vertices, 4)
         assert "InjectedFault" in failure.error
         assert failure.exc_chain
-        assert result.retries == 2
+        assert result.metrics.retries == 2
         with pytest.raises(ExecutionError, match="incomplete"):
             _ = result.embedding_count
 
@@ -217,7 +223,7 @@ class TestSupervisedExecution:
                              backoff_s=0.001),
         )
         assert not result.ok
-        assert result.retries <= 3
+        assert result.metrics.retries <= 3
         assert any(f.reason == "retry-budget" for f in result.failures)
 
     def test_deadline_fails_remaining_chunks(self, case):
@@ -251,41 +257,49 @@ class TestCheckpointResume:
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
         with CheckpointStore(path) as store:
             first = execute_plan(
-                plan, graph, ctx=ctx, checkpoint=store,
-                policy=RunBudget(max_chunk_retries=1, backoff_s=0.001),
+                plan, graph, ctx=ctx,
+                policy=RunPolicy(
+                    budget=RunBudget(max_chunk_retries=1, backoff_s=0.001),
+                    checkpoint=store,
+                ),
             )
         assert not first.ok
         # Resume without faults: only the failed chunk re-executes.
         with CheckpointStore(path) as store:
-            second = execute_plan(plan, graph, checkpoint=store,
-                                  supervised=True)
+            second = execute_plan(plan, graph, policy=RunPolicy(
+                checkpoint=store, supervised=True))
         assert second.embedding_count == expected
-        assert second.resumed_chunks == 3
-        assert second.retries == 0
+        assert second.metrics.resumed_chunks == 3
+        assert second.metrics.retries == 0
         # A third run resumes everything.
         with CheckpointStore(path) as store:
-            third = execute_plan(plan, graph, checkpoint=store)
+            third = execute_plan(plan, graph,
+                                 policy=RunPolicy(checkpoint=store))
         assert third.embedding_count == expected
-        assert third.resumed_chunks == 4
+        assert third.metrics.resumed_chunks == 4
 
     def test_checkpoint_accepts_path(self, case, tmp_path):
         graph, plan, expected = case
         path = tmp_path / "by-path.jsonl"
-        first = execute_plan(plan, graph, checkpoint=str(path))
+        first = execute_plan(plan, graph,
+                             policy=RunPolicy(checkpoint=str(path)))
         assert first.embedding_count == expected
-        second = execute_plan(plan, graph, checkpoint=str(path))
+        second = execute_plan(plan, graph,
+                              policy=RunPolicy(checkpoint=str(path)))
         assert second.embedding_count == expected
-        assert second.resumed_chunks == 4
+        assert second.metrics.resumed_chunks == 4
 
     def test_mismatched_chunking_ignores_records(self, case, tmp_path):
         graph, plan, expected = case
         path = tmp_path / "run.jsonl"
-        execute_plan(plan, graph, checkpoint=str(path))
+        execute_plan(plan, graph, policy=RunPolicy(checkpoint=str(path)))
         # Different chunk count -> different fingerprint -> clean re-run.
-        result = execute_plan(plan, graph, checkpoint=str(path),
-                              chunks_per_worker=8)
+        result = execute_plan(
+            plan, graph, options=EngineOptions(chunks_per_worker=8),
+            policy=RunPolicy(checkpoint=str(path)),
+        )
         assert result.embedding_count == expected
-        assert result.resumed_chunks == 0
+        assert result.metrics.resumed_chunks == 0
 
     def test_aux_plans_share_the_checkpoint(self, tmp_path):
         """Global-shrinkage corrections resume exactly too."""
@@ -318,17 +332,19 @@ class TestCheckpointResume:
         assert plan.aux_plans
         expected = reference.count_embeddings(graph, pattern)
         path = tmp_path / "aux.jsonl"
-        first = execute_plan(plan, graph, checkpoint=str(path))
+        first = execute_plan(plan, graph,
+                             policy=RunPolicy(checkpoint=str(path)))
         assert first.embedding_count == expected
-        second = execute_plan(plan, graph, checkpoint=str(path))
+        second = execute_plan(plan, graph,
+                              policy=RunPolicy(checkpoint=str(path)))
         assert second.embedding_count == expected
         # The second run resumes every chunk: the main plan's four plus
         # four per aux execution.  (Duplicate quotient plans share one
         # fingerprint, so even the *first* run may resume a repeated aux
         # plan's chunks — sound, because identical plans on the same
         # graph produce identical chunk accumulators.)
-        assert second.resumed_chunks == 4 * (1 + len(plan.aux_plans))
-        assert second.resumed_chunks > first.resumed_chunks
+        assert second.metrics.resumed_chunks == 4 * (1 + len(plan.aux_plans))
+        assert second.metrics.resumed_chunks > first.metrics.resumed_chunks
 
 
 class TestForkStateReentrancy:
@@ -338,7 +354,8 @@ class TestForkStateReentrancy:
         token = engine._register_fork_state(sentinel)
         try:
             # A full parallel run while another run's state is live.
-            result = execute_plan(plan, graph, workers=2)
+            result = execute_plan(plan, graph,
+                                  options=EngineOptions(workers=2))
             assert result.embedding_count == expected
             assert engine._FORK_STATES[token] is sentinel
         finally:
@@ -386,25 +403,27 @@ class TestNonPosixFallback:
         graph, plan, expected = case
         serial = execute_plan(plan, graph)
         monkeypatch.delattr(os, "fork")
-        result = execute_plan(plan, graph, workers=3, supervised=False)
+        result = execute_plan(plan, graph, options=EngineOptions(workers=3),
+                              policy=RunPolicy(supervised=False))
         assert result.embedding_count == expected
         assert result.accumulators == serial.accumulators
         # One timing entry per chunk and merged kernel/cache counters.
         assert len(result.chunk_seconds) == len(chunk_ranges(
             graph.num_vertices, 12))
-        assert result.kernel_calls > 0
-        assert result.kernel_stats.get("cache_misses", 0) > 0
+        assert result.metrics.kernel_calls > 0
+        assert result.metrics.kernel_stats.get("cache_misses", 0) > 0
 
     def test_supervised_fallback_still_recovers(self, case, monkeypatch):
         graph, plan, expected = case
         monkeypatch.delattr(os, "fork")
         faults = FaultPlan((Fault("raise", 0), Fault("die", 2)))
         ctx = ExecutionContext(plan.root.num_tables, faults=faults)
-        result = execute_plan(plan, graph, ctx=ctx, workers=3,
+        result = execute_plan(plan, graph, ctx=ctx,
+                              options=EngineOptions(workers=3),
                               policy=RunBudget(backoff_s=0.001))
         assert result.embedding_count == expected
-        assert result.retries == 2  # the die is simulated in-process
-        assert result.pool_restarts == 0
+        assert result.metrics.retries == 2  # the die is simulated in-process
+        assert result.metrics.pool_restarts == 0
 
 
 class TestSessionPolicy:
@@ -422,7 +441,7 @@ class TestSessionPolicy:
         # Second session resumes from the first one's checkpoint.
         resumed = DecoMine(graph, run_policy=policy)
         assert resumed.get_pattern_count(catalog.house()) == expected
-        assert resumed.last_result.resumed_chunks > 0
+        assert resumed.last_result.metrics.resumed_chunks > 0
 
     def test_bare_budget_is_wrapped(self, case):
         from repro.api.session import DecoMine
@@ -447,7 +466,7 @@ class TestExecutionResultRecord:
     def test_new_fields_default_empty(self):
         result = ExecutionResult({"acc_count": 6}, 0.1, divisor=6)
         assert result.ok
-        assert result.retries == 0
-        assert result.resumed_chunks == 0
-        assert result.pool_restarts == 0
+        assert result.metrics.retries == 0
+        assert result.metrics.resumed_chunks == 0
+        assert result.metrics.pool_restarts == 0
         assert result.embedding_count == 1

@@ -25,14 +25,15 @@ from repro.compiler.pipeline import compile_pattern
 from repro.costmodel import profile_graph
 from repro.graph.generators import erdos_renyi
 from repro.runtime.context import ExecutionContext
-from repro.runtime.engine import execute_plan
+from repro.runtime.engine import EngineOptions, execute_plan
 from repro.runtime.faults import Fault, FaultPlan
-from repro.runtime.supervisor import RunBudget
+from repro.runtime.supervisor import RunBudget, RunPolicy
 
 from tests.test_differential_engines import PATTERNS
 
 WORKERS = 2
 CHUNKS_PER_WORKER = 4
+OPTIONS = EngineOptions(workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER)
 NUM_CHUNKS = WORKERS * CHUNKS_PER_WORKER
 
 #: One deterministic fault schedule per catalog pattern, keyed by its
@@ -69,7 +70,7 @@ def test_faulted_parallel_counts_are_exact(name, env):
     ctx = ExecutionContext(plan.root.num_tables, faults=faults)
     result = execute_plan(
         plan, graph, ctx=ctx,
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        options=OPTIONS,
     )
     assert result.ok, [f.describe() for f in result.failures]
     assert result.embedding_count == expected
@@ -77,7 +78,7 @@ def test_faulted_parallel_counts_are_exact(name, env):
     # or pool restart; a delay-only schedule needs neither.
     disruptive = any(f.kind in ("raise", "die") for f in faults.faults)
     if disruptive:
-        assert result.retries + result.pool_restarts >= 1
+        assert result.metrics.retries + result.metrics.pool_restarts >= 1
 
 
 @pytest.mark.parametrize("name", NAMES)
@@ -98,7 +99,7 @@ def test_seeded_oom_faults_bisect_to_exact_counts(name, env):
     ctx = ExecutionContext(plan.root.num_tables, faults=faults)
     result = execute_plan(
         plan, graph, ctx=ctx,
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        options=OPTIONS,
         policy=RunPolicy(budget=RunBudget(backoff_s=0.001),
                          supervised=True, resources=ResourceBudget()),
     )
@@ -138,11 +139,11 @@ def test_worker_death_restarts_the_pool(env):
     ctx = ExecutionContext(plan.root.num_tables, faults=faults)
     result = execute_plan(
         plan, graph, ctx=ctx,
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        options=OPTIONS,
     )
     assert result.ok
     assert result.embedding_count == expected
-    assert result.pool_restarts >= 1
+    assert result.metrics.pool_restarts >= 1
 
 
 def test_chunk_timeout_recovers(env):
@@ -157,11 +158,11 @@ def test_chunk_timeout_recovers(env):
     ctx = ExecutionContext(plan.root.num_tables, faults=faults)
     result = execute_plan(
         plan, graph, ctx=ctx, policy=budget,
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        options=OPTIONS,
     )
     assert result.ok
     assert result.embedding_count == expected
-    assert result.pool_restarts >= 1
+    assert result.metrics.pool_restarts >= 1
 
 
 def test_killed_then_resumed_checkpointed_run_is_exact(env, tmp_path):
@@ -179,8 +180,8 @@ def test_killed_then_resumed_checkpointed_run_is_exact(env, tmp_path):
     ctx = ExecutionContext(plan.root.num_tables, faults=permanent)
     budget = RunBudget(max_chunk_retries=1, backoff_s=0.001)
     first = execute_plan(
-        plan, graph, ctx=ctx, policy=budget, checkpoint=str(path),
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        plan, graph, ctx=ctx, options=OPTIONS,
+        policy=RunPolicy(budget=budget, checkpoint=str(path)),
     )
     assert not first.ok
     assert any(f.index == 2 for f in first.failures)
@@ -194,12 +195,12 @@ def test_killed_then_resumed_checkpointed_run_is_exact(env, tmp_path):
     # The resumed run (faults gone — the poison cleared) replays the
     # checkpointed chunks and executes only the missing ones.
     second = execute_plan(
-        plan, graph, checkpoint=str(path),
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        plan, graph, options=OPTIONS,
+        policy=RunPolicy(checkpoint=str(path)),
     )
     assert second.ok
     assert second.embedding_count == expected
-    assert second.resumed_chunks == len(set(recorded))
+    assert second.metrics.resumed_chunks == len(set(recorded))
 
 
 def test_worker_death_leaves_no_dangling_spans(env):
@@ -223,13 +224,13 @@ def test_worker_death_leaves_no_dangling_spans(env):
     try:
         result = execute_plan(
             plan, graph, ctx=ctx,
-            workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+            options=OPTIONS,
         )
     finally:
         trace = observe.disable()
     assert result.ok
     assert result.embedding_count == expected
-    assert result.pool_restarts >= 1
+    assert result.metrics.pool_restarts >= 1
 
     sids = {span.sid for span in trace.spans}
     run_end = max(span.end for span in trace.spans)
@@ -252,14 +253,12 @@ def test_faulted_runs_match_fault_free_stats_free(env):
     graph, profile = env
     pattern = PATTERNS["clique4"]
     plan = compile_pattern(pattern, profile)
-    clean = execute_plan(
-        plan, graph, workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
-    )
+    clean = execute_plan(plan, graph, options=OPTIONS)
     faults = seeded_faults(1234)
     ctx = ExecutionContext(plan.root.num_tables, faults=faults)
     faulted = execute_plan(
         plan, graph, ctx=ctx,
-        workers=WORKERS, chunks_per_worker=CHUNKS_PER_WORKER,
+        options=OPTIONS,
     )
     assert faulted.ok
     assert faulted.accumulators == clean.accumulators
