@@ -30,6 +30,8 @@ from repro.patterns.pattern import Pattern
 __all__ = [
     "MiningRequest",
     "MiningResponse",
+    "batch_requests_from_wire",
+    "batch_requests_to_wire",
     "pattern_from_wire",
     "pattern_to_wire",
 ]
@@ -185,6 +187,11 @@ class MiningResponse:
     salvage: dict | None = None
     metrics: dict = field(default_factory=dict)
     error: str | None = None
+    #: Non-empty when the response came out of a batch DAG run
+    #: (``DecoMine.submit_batch`` / the daemon's ``submit_batch`` op):
+    #: every response of one batch shares the id the ledger tagged the
+    #: node executions with.
+    batch_id: str = ""
 
     def to_wire(self) -> dict:
         wire = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -205,6 +212,28 @@ class MiningResponse:
             kwargs["constraints"] = tuple(
                 tuple(v) for v in kwargs["constraints"])
         return cls(**kwargs)
+
+
+def batch_requests_to_wire(requests) -> list[dict]:
+    """Encode a request batch for the daemon's ``submit_batch`` op."""
+    requests = list(requests)
+    if not requests:
+        raise ReproError("a batch needs at least one request")
+    return [request.to_wire() for request in requests]
+
+
+def batch_requests_from_wire(wire) -> list[MiningRequest]:
+    """Decode and validate a ``submit_batch`` request payload.
+
+    The payload must be a non-empty JSON array; every element goes
+    through the single-request validation (unknown fields rejected,
+    count mode only).
+    """
+    if not isinstance(wire, list):
+        raise ReproError("batch must be a JSON array of requests")
+    if not wire:
+        raise ReproError("batch must contain at least one request")
+    return [MiningRequest.from_wire(item) for item in wire]
 
 
 def _engine_to_wire(engine) -> dict:

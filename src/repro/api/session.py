@@ -25,6 +25,7 @@ from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.api.messages import MiningRequest, MiningResponse
+from repro.compiler.batch import compile_batch
 from repro.compiler.pipeline import CompiledPlan, compile_pattern
 from repro.compiler.plancache import PlanCache, plan_key
 from repro.compiler.search import SearchOptions
@@ -144,6 +145,9 @@ class DecoMine:
         #: The most recent :class:`MiningResponse` (every public entry
         #: point routes through :meth:`submit`).
         self.last_response: MiningResponse | None = None
+        #: The most recent :class:`~repro.runtime.batchrun.BatchResult`
+        #: from :meth:`submit_batch` (node results, sharing report).
+        self.last_batch_result = None
         self._last_result: ExecutionResult | None = None
         #: Provenance of the most recent ``plan_for``: the persistent
         #: cache key and whether any cache (in-memory or on-disk)
@@ -433,6 +437,120 @@ class DecoMine:
         )
         self.last_response = response
         return response
+
+    # ------------------------------------------------------------------
+    # submit_batch: multi-query DAG execution
+    # ------------------------------------------------------------------
+    def submit_batch(
+        self, requests: Sequence[MiningRequest]
+    ) -> list[MiningResponse]:
+        """Run a workload of counting requests as one shared-plan DAG.
+
+        The batch compiler (:mod:`repro.compiler.batch`) canonicalizes
+        the workload (isomorphic duplicates collapse to one query),
+        factors shared subpatterns — shrinkage quotients, vertex-induced
+        host conversions — into a DAG enumerated once per distinct
+        census, and fuses direct plans through the ``multi.py`` prefix
+        trie; :func:`repro.runtime.batchrun.execute_batch` then runs the
+        schedule over one shared graph segment and set-op cache.
+
+        All requests must be ``mode="count"`` and share at most one
+        engine override; the tightest per-request deadline governs the
+        whole batch.  Returns one :class:`MiningResponse` per request,
+        in submission order, all stamped with the same ``batch_id``.
+        """
+        from repro.runtime.batchrun import execute_batch
+
+        requests = list(requests)
+        if not requests:
+            raise ReproError(
+                "submit_batch() needs at least one MiningRequest"
+            )
+        for request in requests:
+            if not isinstance(request, MiningRequest):
+                raise ReproError("submit_batch() takes MiningRequests")
+            if request.mode != "count":
+                raise ReproError(
+                    f"batch requests must be mode='count', got "
+                    f"{request.mode!r}"
+                )
+        overrides = {request.engine for request in requests
+                     if request.engine is not None}
+        if len(overrides) > 1:
+            raise ReproError(
+                "batch requests must share one engine override (or none)"
+            )
+        options = overrides.pop() if overrides else self.engine_options
+        policy = self.run_policy
+        deadlines = [request.deadline_s for request in requests
+                     if request.deadline_s is not None]
+        if deadlines:
+            base = policy if policy is not None else RunPolicy()
+            budget = base.budget if base.budget is not None else RunBudget()
+            policy = replace(
+                base,
+                budget=replace(budget, deadline_s=min(deadlines)),
+                supervised=True,
+            )
+        started = time.perf_counter()
+        batch_plan = compile_batch(
+            self, [(request.pattern, request.induced)
+                   for request in requests],
+            options,
+        )
+        result = execute_batch(
+            batch_plan, self.graph, options=options, policy=policy,
+        )
+        self.last_batch_result = result
+        seconds = time.perf_counter() - started
+        query_of: dict[int, object] = {}
+        for query in batch_plan.queries:
+            for position in query.members:
+                query_of[position] = query
+        responses = []
+        for position, request in enumerate(requests):
+            count = result.counts[position]
+            query = query_of[position]
+            responses.append(MiningResponse(
+                request_id=request.request_id or new_run_id(),
+                client_id=request.client_id,
+                ok=count is not None,
+                count=count,
+                raw_count=int(count) if count is not None else 0,
+                mode="count",
+                run_id=result.batch_id,
+                plan_key=query.plan_key,
+                plan_cache_hit=query.plan_cache_hit,
+                seconds=seconds,
+                cancelled=result.cancelled,
+                error=result.error if count is None else None,
+                batch_id=result.batch_id,
+            ))
+        if responses:
+            self.last_response = responses[-1]
+        return responses
+
+    def get_pattern_counts(
+        self, patterns: Sequence[Pattern], induced: bool = False
+    ) -> list[int]:
+        """Batched :meth:`get_pattern_count` over a pattern workload.
+
+        One shared-plan DAG run instead of ``len(patterns)`` sequential
+        executions; counts come back in submission order.
+        """
+        responses = self.submit_batch([
+            MiningRequest(pattern=pattern, induced=induced)
+            for pattern in patterns
+        ])
+        counts = []
+        for response in responses:
+            if response.count is None:
+                raise ReproError(
+                    f"batch execution incomplete: "
+                    f"{response.error or response.cancelled or 'unknown'}"
+                )
+            counts.append(response.count)
+        return counts
 
     def _unwrap_count(self, response: MiningResponse) -> int:
         if response.count is not None:

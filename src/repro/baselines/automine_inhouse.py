@@ -40,7 +40,7 @@ class AutoMineInHouse(DirectPlanSystem):
         if not self.computation_reuse:
             return super().motif_census(k)
         from repro.compiler.codegen import compile_root
-        from repro.compiler.multi import build_merged_direct, census_accumulator
+        from repro.compiler.multi import build_merged_direct
         from repro.patterns.generation import all_connected_patterns
         from repro.runtime.context import ExecutionContext
 
@@ -53,7 +53,7 @@ class AutoMineInHouse(DirectPlanSystem):
         function, _source = compile_root(merged.root)
         accumulators = function(self.graph, ExecutionContext())
         return {
-            pattern: accumulators[census_accumulator(i)] // merged.divisors[i]
+            pattern: accumulators[merged.accumulator_for(i)] // merged.divisors[i]
             for i, pattern in enumerate(patterns)
         }
 

@@ -187,6 +187,35 @@ def main(argv: list[str] | None = None) -> int:
                             "(default .repro/ledger.jsonl or $REPRO_LEDGER; "
                             "query with `repro history`)")
 
+    batch = sub.add_parser(
+        "batch",
+        help="count a pattern workload as one shared-subpattern DAG run",
+    )
+    _add_graph_args(batch)
+    batch.add_argument("--pattern", required=True,
+                       help="comma-separated pattern list; duplicate and "
+                            "isomorphic entries share one enumeration")
+    batch.add_argument("--induced", action="store_true",
+                       help="vertex-induced semantics for every pattern")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="parallel fork-pool workers (default 1)")
+    batch.add_argument("--executor",
+                       choices=("codegen", "interpreter", "vectorized"),
+                       default="codegen")
+    batch.add_argument("--orient", choices=("none", "degree", "degeneracy"),
+                       default="none")
+    batch.add_argument("--deadline", type=float, metavar="SECONDS",
+                       help="deadline for the whole batch run")
+    batch.add_argument("--socket", metavar="PATH",
+                       help="submit the workload to a running daemon "
+                            "instead of executing locally (graph/engine "
+                            "arguments are then ignored)")
+    batch.add_argument("--client-id", default="cli")
+    batch.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="json adds the per-request responses and the "
+                            "sharing report")
+
     census = sub.add_parser("census", help="k-motif census")
     _add_graph_args(census)
     census.add_argument("--size", type=int, required=True)
@@ -310,6 +339,10 @@ def main(argv: list[str] | None = None) -> int:
                        const="", default=None,
                        help="record every request in the run ledger, "
                             "tagged with the client id")
+    serve.add_argument("--plan-cache-max-mb", type=float, metavar="MB",
+                       help="size cap for the persistent plan cache: "
+                            "stores past the cap evict least-recently-"
+                            "used entries (requires --plan-cache)")
 
     submit = sub.add_parser(
         "submit", help="submit one counting request to a running daemon")
@@ -346,6 +379,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("submit", "ping", "shutdown"):
         return _run_serve_client(args)
+
+    if args.command == "batch" and args.socket:
+        return _run_batch_remote(args)
 
     try:
         graph = _load_graph(args)
@@ -487,6 +523,9 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
         return 0
 
+    if args.command == "batch":
+        return _run_batch(args, session)
+
     if args.command == "stats":
         return _run_stats(args, session)
 
@@ -549,6 +588,13 @@ def _run_serve(args, graph) -> int:
         from repro.compiler.plancache import default_cache_path
 
         plan_cache = default_cache_path()
+    if plan_cache is not None and args.plan_cache_max_mb:
+        from repro.compiler.plancache import PlanCache
+
+        plan_cache = PlanCache(
+            plan_cache,
+            max_bytes=int(args.plan_cache_max_mb * 1024 ** 2),
+        )
     config = ServerConfig(
         socket_path=args.socket,
         max_inflight=args.max_inflight,
@@ -571,6 +617,89 @@ def _run_serve(args, graph) -> int:
         server.close()
     print("daemon stopped", file=sys.stderr)
     return 0
+
+
+def _run_batch(args, session: DecoMine) -> int:
+    """``repro batch`` (local): one DAG run over the whole workload."""
+    from repro.api.messages import MiningRequest
+
+    patterns = [parse_pattern(text) for text in args.pattern.split(",")]
+    requests = [
+        MiningRequest(pattern=pattern, induced=args.induced,
+                      deadline_s=args.deadline, client_id=args.client_id)
+        for pattern in patterns
+    ]
+    started = time.perf_counter()
+    try:
+        responses = session.submit_batch(requests)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    result = session.last_batch_result
+    sharing = result.sharing.as_dict() if result is not None else None
+    return _print_batch(args, [p.name for p in patterns], responses,
+                        sharing, elapsed)
+
+
+def _run_batch_remote(args) -> int:
+    """``repro batch --socket``: submit the workload to a daemon."""
+    from repro.serve import Client
+
+    try:
+        patterns = [parse_pattern(text) for text in args.pattern.split(",")]
+    except PatternError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = Client(args.socket, client_id=args.client_id)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        started = time.perf_counter()
+        try:
+            responses = client.submit_batch(
+                patterns, induced=args.induced, deadline_s=args.deadline,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+    return _print_batch(args, [p.name for p in patterns], responses,
+                        None, elapsed)
+
+
+def _print_batch(args, names, responses, sharing, elapsed) -> int:
+    ok = all(response.ok for response in responses)
+    if args.format == "json":
+        payload = {
+            "ok": ok,
+            "batch_id": responses[0].batch_id if responses else "",
+            "seconds": elapsed,
+            "responses": [response.to_wire() for response in responses],
+        }
+        if sharing is not None:
+            payload["sharing"] = sharing
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 3
+    width = max(len(name) for name in names) if names else 0
+    for name, response in zip(names, responses):
+        if response.ok:
+            print(f"{name:<{width}}  {response.count}")
+        else:
+            print(f"{name:<{width}}  error: "
+                  f"{response.error or response.cancelled}")
+    if sharing is not None:
+        print(f"sharing: {sharing['plans_batched']} plan runs answered "
+              f"{sharing['workload']} queries "
+              f"({sharing['plans_sequential']} runs sequentially; "
+              f"{sharing['eliminated_fraction']:.0%} eliminated)",
+              file=sys.stderr)
+    kind = "vertex-induced" if args.induced else "edge-induced"
+    print(f"batch {'ok' if ok else 'INCOMPLETE'} "
+          f"({elapsed:.2f}s, {kind})", file=sys.stderr)
+    return 0 if ok else 3
 
 
 def _run_serve_client(args) -> int:

@@ -176,11 +176,16 @@ class PlanCache:
     mirrored into the ``repro_plancache_*`` registry counters.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 max_bytes: int | None = None) -> None:
         self.path = Path(path) if path is not None else default_cache_path()
+        #: Size cap for the cache directory; ``store`` prunes
+        #: least-recently-used entries past it.  None = unbounded.
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def entry_path(self, key: str) -> Path:
@@ -227,6 +232,12 @@ class PlanCache:
         _count("repro_plancache_hits_total",
                "persistent plan-cache hits (profile+search skipped)")
         note_phase("plan-cache", time.perf_counter() - started)
+        try:
+            # LRU recency signal for eviction: a hit refreshes the
+            # entry's mtime, so pruning removes the coldest plans first.
+            os.utime(self.entry_path(key))
+        except OSError:
+            pass
         return plan
 
     def store(self, key: str, plan: CompiledPlan, *,
@@ -265,7 +276,61 @@ class PlanCache:
         self.stores += 1
         _count("repro_plancache_stores_total",
                "persistent plan-cache entries published")
+        if self.max_bytes is not None:
+            self.prune()
         return True
+
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries past the size cap.
+
+        Entry recency is the file mtime (refreshed on every hit), so a
+        long-lived daemon keeps its hot plans and sheds the cold tail.
+        Returns the number of entries removed; races with concurrent
+        writers/readers are benign (a vanished entry is a miss, a
+        concurrent store re-publishes).  No-op when no cap is set.
+        """
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            return 0
+        try:
+            entries = [
+                (entry.stat().st_mtime, entry.stat().st_size, entry)
+                for entry in self.path.glob(f"*{_ENTRY_SUFFIX}")
+            ]
+        except OSError:
+            return 0
+        total = sum(size for _, size, _ in entries)
+        if total <= cap:
+            return 0
+        evicted = 0
+        for _, size, entry in sorted(entries):
+            if total <= cap:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            from repro.observe import metrics as om
+
+            om.counter(
+                "repro_plancache_evictions_total",
+                "plan-cache entries evicted by the size cap (LRU)",
+            ).inc(evicted)
+        return evicted
+
+    def size_bytes(self) -> int:
+        """Total bytes of published entries (best effort)."""
+        try:
+            return sum(
+                entry.stat().st_size
+                for entry in self.path.glob(f"*{_ENTRY_SUFFIX}")
+            )
+        except OSError:
+            return 0
 
     # ------------------------------------------------------------------
     def compile_cached(
@@ -329,6 +394,8 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
+            "max_bytes": self.max_bytes,
         }
 
     def _miss(self) -> None:

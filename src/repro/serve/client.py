@@ -68,6 +68,50 @@ class Client:
             raise ReproError(f"unexpected reply {reply.get('op')!r}")
         return MiningResponse.from_wire(reply["response"])
 
+    def submit_batch(
+        self,
+        patterns,
+        *,
+        induced=False,
+        deadline_s: float | None = None,
+        engine=None,
+    ) -> list[MiningResponse]:
+        """Count a whole pattern workload as one shared-subpattern run.
+
+        ``patterns`` is a sequence of :class:`Pattern`/catalog-name/wire
+        dicts; ``induced`` may be one flag for all of them or a sequence
+        matching ``patterns``.  The daemon compiles the workload into one
+        DAG (shared subpatterns enumerated once) and the whole batch
+        consumes a single admission slot.  Responses come back in
+        submission order, all sharing one ``batch_id``.
+        """
+        from repro.api.messages import batch_requests_to_wire, pattern_from_wire
+
+        patterns = list(patterns)
+        flags = (list(induced) if not isinstance(induced, bool)
+                 else [induced] * len(patterns))
+        if len(flags) != len(patterns):
+            raise ReproError(
+                "induced must be one bool or one flag per pattern"
+            )
+        requests = [
+            MiningRequest(
+                pattern=pattern_from_wire(pattern),
+                induced=flag,
+                deadline_s=deadline_s,
+                engine=engine,
+                client_id=self.client_id,
+                request_id=f"batch-{index}",
+            )
+            for index, (pattern, flag) in enumerate(zip(patterns, flags))
+        ]
+        reply = self._rpc({"op": "submit_batch",
+                           "requests": batch_requests_to_wire(requests)})
+        if reply.get("op") != "response_batch":
+            raise ReproError(f"unexpected reply {reply.get('op')!r}")
+        return [MiningResponse.from_wire(wire)
+                for wire in reply["responses"]]
+
     def ping(self) -> dict:
         """Daemon liveness + stats snapshot."""
         reply = self._rpc({"op": "ping"})

@@ -33,17 +33,32 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.api.messages import MiningRequest, MiningResponse
+from repro.api.messages import (
+    MiningRequest,
+    MiningResponse,
+    batch_requests_from_wire,
+)
 from repro.api.session import DecoMine
 from repro.exceptions import ReproError
 from repro.graph import shared as shared_mod
 from repro.observe import metrics as om
 from repro.observe.ledger import new_run_id, run_tags
+from repro.patterns.isomorphism import canonical_code
 from repro.serve.protocol import ProtocolError, read_message, send_message
 
 __all__ = ["MiningServer", "ServerConfig"]
 
 _CLIENT_ID_SANITIZER = re.compile(r"[^A-Za-z0-9_]")
+
+
+class _Inflight:
+    """One in-flight run that identical concurrent requests can join."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: MiningResponse | None = None
 
 
 @dataclass(frozen=True)
@@ -92,12 +107,16 @@ class MiningServer:
         self._threads: list[threading.Thread] = []
         self._sock: socket.socket | None = None
         self._started = time.time()
+        self._coalesce_lock = threading.Lock()
+        self._inflight_runs: dict[tuple, _Inflight] = {}
         self.stats = {
             "requests": 0,
             "responses": 0,
             "rejections": 0,
             "errors": 0,
             "cache_hits": 0,
+            "coalesced": 0,
+            "batches": 0,
             "per_client": {},
         }
 
@@ -218,6 +237,12 @@ class MiningServer:
                 MiningRequest.from_wire(message.get("request"))
             )
             return {"op": "response", "response": response.to_wire()}
+        if op == "submit_batch":
+            responses = self.handle_batch(
+                batch_requests_from_wire(message.get("requests"))
+            )
+            return {"op": "response_batch",
+                    "responses": [r.to_wire() for r in responses]}
         if op == "ping":
             return {"op": "pong", "stats": self.snapshot()}
         if op == "stats":
@@ -236,9 +261,59 @@ class MiningServer:
 
         Directly callable without a socket — the smoke tests and the
         in-process tests exercise exactly the daemon's code path.
+
+        Identical concurrent requests *coalesce*: when a request arrives
+        while another with the same work identity (canonical pattern,
+        induced flag, engine override, deadline) is already executing,
+        the latecomer waits for that run and reuses its successful
+        response instead of consuming an execution slot.  Failed or
+        rejected leader runs are not reused — the follower then executes
+        normally (and may itself become the leader for the next wave).
         """
         self._bump("requests")
         self._client_counter(request.client_id, "requests")
+        request = self._apply_default_deadline(request)
+        key = self._coalesce_key(request)
+        if key is None:
+            return self._execute(request)
+        while True:
+            with self._coalesce_lock:
+                entry = self._inflight_runs.get(key)
+                leading = entry is None
+                if leading:
+                    entry = _Inflight()
+                    self._inflight_runs[key] = entry
+            if leading:
+                try:
+                    response = self._execute(request)
+                    entry.response = response
+                    return response
+                finally:
+                    with self._coalesce_lock:
+                        self._inflight_runs.pop(key, None)
+                    entry.event.set()
+            entry.event.wait()
+            response = entry.response
+            if response is not None and response.ok:
+                self._bump("coalesced")
+                self._bump("responses")
+                om.counter(
+                    "repro_serve_coalesced_total",
+                    "requests answered by joining an identical "
+                    "in-flight run",
+                ).inc()
+                from dataclasses import replace as _replace
+
+                return _replace(
+                    response,
+                    request_id=request.request_id or response.request_id,
+                    client_id=request.client_id,
+                    metrics=dict(response.metrics),
+                )
+            # The leader failed or was rejected: loop and run ourselves
+            # (possibly becoming the leader other waiters join).
+
+    def _apply_default_deadline(self, request: MiningRequest) -> MiningRequest:
         if request.deadline_s is None and self.config.default_deadline_s:
             request = MiningRequest(
                 pattern=request.pattern, mode=request.mode,
@@ -247,6 +322,26 @@ class MiningServer:
                 deadline_s=self.config.default_deadline_s,
                 client_id=request.client_id, request_id=request.request_id,
             )
+        return request
+
+    def _coalesce_key(self, request: MiningRequest) -> "tuple | None":
+        """Work identity for coalescing; None = never coalesce.
+
+        Canonical pattern code (so isomorphic submissions share a run),
+        the induced flag, the engine override, and the effective
+        deadline.  Constrained/mine-mode requests carry callables whose
+        identity the server cannot compare — they never coalesce.
+        """
+        if request.mode != "count" or request.constraints:
+            return None
+        return (
+            repr(canonical_code(request.pattern)),
+            bool(request.induced),
+            repr(request.engine),
+            request.deadline_s,
+        )
+
+    def _execute(self, request: MiningRequest) -> MiningResponse:
         if not self._admit():
             self._bump("rejections")
             self._client_counter(request.client_id, "rejections")
@@ -282,6 +377,66 @@ class MiningServer:
             om.counter("repro_serve_cache_hits_total",
                        "responses served from a plan cache").inc()
         return response
+
+    def handle_batch(self, requests) -> list[MiningResponse]:
+        """Execute a request batch as one shared-subpattern DAG run.
+
+        The whole batch consumes *one* execution slot — a batch is one
+        unit of work for admission purposes, exactly as it is one DAG
+        run for the engine.  On rejection every request in the batch
+        gets the same ``ok=False`` admission response.
+        """
+        requests = list(requests)
+        if not requests:
+            raise ReproError("a batch needs at least one request")
+        for request in requests:
+            self._bump("requests")
+            self._client_counter(request.client_id, "requests")
+        requests = [self._apply_default_deadline(r) for r in requests]
+        if not self._admit():
+            for request in requests:
+                self._bump("rejections")
+                self._client_counter(request.client_id, "rejections")
+            om.counter("repro_serve_rejections_total",
+                       "requests rejected by admission control"
+                       ).inc(len(requests))
+            return [
+                MiningResponse(
+                    request_id=request.request_id or new_run_id(),
+                    client_id=request.client_id,
+                    ok=False,
+                    mode=request.mode,
+                    error=(f"admission rejected: "
+                           f"{self.config.max_inflight} in flight and "
+                           f"{self.config.max_pending} pending"),
+                )
+                for request in requests
+            ]
+        try:
+            with self._state_lock:
+                self._inflight += 1
+                om.gauge("repro_serve_inflight",
+                         "requests currently executing").set(self._inflight)
+            with run_tags(client=requests[0].client_id):
+                responses = self.session.submit_batch(requests)
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+                om.gauge("repro_serve_inflight",
+                         "requests currently executing").set(self._inflight)
+            self._slots.release()
+        self._bump("batches")
+        om.counter("repro_serve_batches_total",
+                   "request batches executed as one DAG run").inc()
+        om.counter("repro_serve_requests_total",
+                   "requests accepted and executed").inc(len(requests))
+        for response in responses:
+            self._bump("responses")
+            if response.plan_cache_hit:
+                self._bump("cache_hits")
+                om.counter("repro_serve_cache_hits_total",
+                           "responses served from a plan cache").inc()
+        return responses
 
     def _admit(self) -> bool:
         """Take an execution slot, waiting in the bounded pending queue.

@@ -152,3 +152,52 @@ class TestMiningResponse:
         wire["bogus"] = 1
         with pytest.raises(ReproError, match="unknown response fields"):
             MiningResponse.from_wire(wire)
+
+
+class TestBatchWire:
+    def test_roundtrip(self):
+        from repro.api.messages import (
+            batch_requests_from_wire,
+            batch_requests_to_wire,
+        )
+
+        requests = [
+            MiningRequest(pattern=catalog.triangle(), request_id="a"),
+            MiningRequest(pattern=catalog.house(), induced=True,
+                          deadline_s=5.0, request_id="b"),
+        ]
+        wire = batch_requests_to_wire(requests)
+        json.dumps(wire)
+        decoded = batch_requests_from_wire(wire)
+        assert decoded == requests
+
+    def test_empty_batch_rejected_both_ways(self):
+        from repro.api.messages import (
+            batch_requests_from_wire,
+            batch_requests_to_wire,
+        )
+
+        with pytest.raises(ReproError, match="at least one"):
+            batch_requests_to_wire([])
+        with pytest.raises(ReproError, match="at least one"):
+            batch_requests_from_wire([])
+
+    def test_non_array_payload_rejected(self):
+        from repro.api.messages import batch_requests_from_wire
+
+        with pytest.raises(ReproError, match="JSON array"):
+            batch_requests_from_wire({"pattern": "triangle"})
+
+    def test_per_item_validation_applies(self):
+        from repro.api.messages import batch_requests_from_wire
+
+        with pytest.raises(ReproError, match="unknown request fields"):
+            batch_requests_from_wire([
+                {"pattern": "triangle", "bogus": 1},
+            ])
+
+    def test_batch_id_rides_the_response_wire(self):
+        response = MiningResponse(request_id="r", client_id="c", ok=True,
+                                  count=3, batch_id="batch-9")
+        decoded = MiningResponse.from_wire(response.to_wire())
+        assert decoded.batch_id == "batch-9"

@@ -266,3 +266,62 @@ class TestPerfCommand:
         assert main(["perf", "run", "--suite", "nope",
                      "--root", str(tmp_path)]) == 2
         assert "unknown suite" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_local_batch_counts_and_sharing(self, capsys, edge_list_file,
+                                            small_random_graph):
+        assert main(["batch", "--graph", edge_list_file,
+                     "--pattern", "triangle,house,triangle"]) == 0
+        captured = capsys.readouterr()
+        tri = reference.count_embeddings(small_random_graph,
+                                         catalog.triangle())
+        house = reference.count_embeddings(small_random_graph,
+                                           catalog.house())
+        assert str(tri) in captured.out
+        assert str(house) in captured.out
+        assert "sharing:" in captured.err
+        assert "batch ok" in captured.err
+
+    def test_local_batch_json(self, capsys, edge_list_file,
+                              small_random_graph):
+        import json as json_mod
+
+        assert main(["batch", "--graph", edge_list_file,
+                     "--pattern", "triangle,diamond",
+                     "--format", "json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["batch_id"]
+        assert [r["count"] for r in payload["responses"]] == [
+            reference.count_embeddings(small_random_graph,
+                                       catalog.triangle()),
+            reference.count_embeddings(small_random_graph,
+                                       catalog.diamond()),
+        ]
+        assert payload["sharing"]["workload"] == 2
+
+    def test_batch_bad_pattern_is_friendly(self, capsys, edge_list_file):
+        assert main(["batch", "--graph", edge_list_file,
+                     "--pattern", "triangle,widget"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_unreachable_socket_is_friendly(self, capsys, tmp_path):
+        assert main(["batch", "--socket", str(tmp_path / "no.sock"),
+                     "--pattern", "triangle"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_remote_batch_over_daemon(self, capsys, small_random_graph,
+                                      tmp_path):
+        from repro.serve import MiningServer, ServerConfig
+
+        sock = str(tmp_path / "cli-batch.sock")
+        with MiningServer(small_random_graph,
+                          ServerConfig(socket_path=sock)):
+            assert main(["batch", "--socket", sock,
+                         "--pattern", "triangle,house"]) == 0
+        captured = capsys.readouterr()
+        tri = reference.count_embeddings(small_random_graph,
+                                         catalog.triangle())
+        assert str(tri) in captured.out
+        assert "batch ok" in captured.err

@@ -280,3 +280,95 @@ class TestWarmSessionSkipsProfiling:
         assert session.last_response.plan_cache_hit is False
         session.get_pattern_count(catalog.diamond())
         assert session.last_response.plan_cache_hit is True
+
+
+class TestEviction:
+    def _seed_entries(self, path, count, size=1000):
+        import os
+        import time as time_mod
+
+        path.mkdir(parents=True, exist_ok=True)
+        now = time_mod.time()
+        for index in range(count):
+            entry = path / f"key{index}.plan"
+            entry.write_bytes(b"x" * size)
+            os.utime(entry, (now - 100 + index, now - 100 + index))
+
+    def test_prune_removes_oldest_first(self, tmp_path):
+        cache = PlanCache(tmp_path / "cache", max_bytes=3000)
+        self._seed_entries(tmp_path / "cache", 6)
+        assert cache.prune() == 3
+        survivors = sorted(p.name for p in
+                           (tmp_path / "cache").glob("*.plan"))
+        assert survivors == ["key3.plan", "key4.plan", "key5.plan"]
+        assert cache.evictions == 3
+        assert cache.size_bytes() == 3000
+        assert cache.stats()["evictions"] == 3
+        assert cache.stats()["max_bytes"] == 3000
+
+    def test_prune_noop_without_cap_or_under_cap(self, tmp_path):
+        uncapped = PlanCache(tmp_path / "cache")
+        self._seed_entries(tmp_path / "cache", 4)
+        assert uncapped.prune() == 0
+        roomy = PlanCache(tmp_path / "cache", max_bytes=10_000)
+        assert roomy.prune() == 0
+        assert roomy.evictions == 0
+
+    def test_store_triggers_pruning(self, tmp_path, graph, profile, model):
+        cache = PlanCache(tmp_path / "cache", max_bytes=1)
+        plan, hit = cache.compile_cached(
+            catalog.triangle(), lambda: profile, model,
+            graph_fingerprint=_fp(graph),
+        )
+        assert not hit
+        # The cap is one byte: the entry just stored is itself evicted.
+        assert cache.evictions >= 1
+        assert cache.size_bytes() == 0
+
+    def test_hits_refresh_recency(self, tmp_path, graph, profile, model):
+        import os
+        import time as time_mod
+
+        cache = PlanCache(tmp_path / "cache", max_bytes=None)
+        for pattern in (catalog.triangle(), catalog.chain(3)):
+            cache.compile_cached(pattern, lambda: profile, model,
+                                 graph_fingerprint=_fp(graph))
+        entries = sorted((tmp_path / "cache").glob("*.plan"))
+        assert len(entries) == 2
+        # Age both entries, then hit only the triangle: its mtime must
+        # move forward so pruning would evict the other one first.
+        stale = time_mod.time() - 1000
+        for entry in entries:
+            os.utime(entry, (stale, stale))
+        plan, hit = cache.compile_cached(
+            catalog.triangle(), lambda: pytest.fail("warm hit expected"),
+            model, graph_fingerprint=_fp(graph),
+        )
+        assert hit
+        refreshed = [entry for entry in entries
+                     if entry.stat().st_mtime > stale + 500]
+        assert len(refreshed) == 1
+        total = sum(entry.stat().st_size for entry in entries)
+        capped = PlanCache(tmp_path / "cache", max_bytes=total - 1)
+        assert capped.prune() == 1
+        assert refreshed[0].exists()
+
+    def test_warm_counts_survive_eviction_churn(self, tmp_path, graph,
+                                                profile, model):
+        # A cap that fits roughly one entry: every store evicts the
+        # previous plan, and every reload must still be bit-identical.
+        first = PlanCache(tmp_path / "cache").compile_cached(
+            catalog.triangle(), lambda: profile, model,
+            graph_fingerprint=_fp(graph),
+        )[0]
+        size = PlanCache(tmp_path / "cache").size_bytes()
+        cache = PlanCache(tmp_path / "cache", max_bytes=size)
+        for pattern in (catalog.diamond(), catalog.house()):
+            plan, hit = cache.compile_cached(
+                pattern, lambda: profile, model,
+                graph_fingerprint=_fp(graph),
+            )
+            assert not hit
+            got = execute_plan(plan, graph).embedding_count
+            assert got == reference.count_embeddings(graph, pattern)
+        assert cache.evictions >= 1

@@ -328,3 +328,170 @@ class TestSessionSubmitSurface:
         )
         assert mined.ok
         assert hits
+
+
+class TestBatchOpAndCoalescing:
+    def test_submit_batch_over_socket(self, server, graph):
+        with Client(server.config.socket_path, client_id="b") as client:
+            responses = client.submit_batch(["triangle", "house",
+                                             "triangle"])
+        tri = reference.count_embeddings(graph, catalog.triangle())
+        house = reference.count_embeddings(graph, catalog.house())
+        assert [r.count for r in responses] == [tri, house, tri]
+        assert all(r.ok for r in responses)
+        assert responses[0].batch_id
+        assert len({r.batch_id for r in responses}) == 1
+        assert server.stats["batches"] == 1
+        assert server.stats["requests"] == 3
+
+    def test_batch_consumes_one_admission_slot(self, graph, tmp_path):
+        config = ServerConfig(socket_path=str(tmp_path / "b.sock"),
+                              max_inflight=1, max_pending=0)
+        server = MiningServer(graph, config)
+        try:
+            requests = [MiningRequest(pattern=catalog.triangle()),
+                        MiningRequest(pattern=catalog.house())]
+            responses = server.handle_batch(requests)
+            assert all(r.ok for r in responses)
+            # With the only slot held, the whole batch is rejected at
+            # once — it is one unit of admission-controlled work.
+            assert server._slots.acquire(blocking=False)
+            try:
+                rejected = server.handle_batch(requests)
+            finally:
+                server._slots.release()
+            assert all(not r.ok for r in rejected)
+            assert all("admission rejected" in r.error for r in rejected)
+        finally:
+            server.close()
+
+    def test_empty_batch_is_an_error_not_a_crash(self, server):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.connect(server.config.socket_path)
+            reader = sock.makefile("rb")
+            send_message(sock, {"op": "submit_batch", "requests": []})
+            reply = read_message(reader)
+            assert reply["op"] == "error"
+            send_message(sock, {"op": "ping"})
+            assert read_message(reader)["op"] == "pong"
+
+    def test_identical_concurrent_requests_coalesce(self, graph, tmp_path):
+        release = threading.Event()
+        entered = threading.Event()
+        calls: list[str] = []
+
+        class Slow:
+            def __init__(self, graph, **kwargs):
+                self.graph = graph
+                self.plan_cache = None
+
+            def submit(self, request):
+                calls.append(request.request_id)
+                entered.set()
+                release.wait(30.0)
+                return MiningResponse(request_id=request.request_id,
+                                      client_id=request.client_id,
+                                      ok=True, count=42)
+
+        config = ServerConfig(socket_path=str(tmp_path / "co.sock"),
+                              max_inflight=4, max_pending=4)
+        server = MiningServer(graph, config, session_factory=Slow)
+        try:
+            box: list[MiningResponse] = []
+
+            def run(request_id: str, client_id: str) -> None:
+                box.append(server.handle_request(MiningRequest(
+                    pattern=catalog.triangle(), request_id=request_id,
+                    client_id=client_id)))
+
+            leader = threading.Thread(target=run, args=("lead", "a"))
+            leader.start()
+            assert entered.wait(10.0)
+            # The leader is inside submit, its in-flight entry published:
+            # the follower is guaranteed to join it instead of executing.
+            follower = threading.Thread(target=run, args=("follow", "b"))
+            follower.start()
+            polls = 100
+            while server.stats["requests"] < 2 and polls:
+                polls -= 1
+                release.wait(0.02)
+            release.set()
+            leader.join(30.0)
+            follower.join(30.0)
+            assert calls == ["lead"], "only the leader may execute"
+            assert all(r.ok and r.count == 42 for r in box)
+            assert {r.request_id for r in box} == {"lead", "follow"}
+            assert {r.client_id for r in box} == {"a", "b"}
+            assert server.stats["coalesced"] == 1
+        finally:
+            release.set()
+            server.close()
+
+    def test_followers_do_not_reuse_failed_runs(self, graph, tmp_path):
+        release = threading.Event()
+        entered = threading.Event()
+        calls: list[str] = []
+
+        class FlakyThenOk:
+            def __init__(self, graph, **kwargs):
+                self.graph = graph
+                self.plan_cache = None
+
+            def submit(self, request):
+                calls.append(request.request_id)
+                first = len(calls) == 1
+                if first:
+                    entered.set()
+                    release.wait(30.0)
+                return MiningResponse(request_id=request.request_id,
+                                      client_id=request.client_id,
+                                      ok=not first, count=7,
+                                      error="boom" if first else None)
+
+        config = ServerConfig(socket_path=str(tmp_path / "fl.sock"),
+                              max_inflight=4, max_pending=4)
+        server = MiningServer(graph, config, session_factory=FlakyThenOk)
+        try:
+            box: dict = {}
+
+            def follow() -> None:
+                box["follower"] = server.handle_request(MiningRequest(
+                    pattern=catalog.triangle(), request_id="follow"))
+
+            lead = threading.Thread(target=lambda: box.update(
+                leader=server.handle_request(MiningRequest(
+                    pattern=catalog.triangle(), request_id="lead"))))
+            lead.start()
+            assert entered.wait(10.0)
+            follower = threading.Thread(target=follow)
+            follower.start()
+            polls = 100
+            while server.stats["requests"] < 2 and polls:
+                polls -= 1
+                release.wait(0.02)
+            release.set()
+            lead.join(30.0)
+            follower.join(30.0)
+            assert box["leader"].ok is False
+            # The follower refused the failed response and ran itself.
+            assert box["follower"].ok is True
+            assert calls == ["lead", "follow"]
+            assert server.stats["coalesced"] == 0
+        finally:
+            release.set()
+            server.close()
+
+    def test_coalesce_key_identity(self, server):
+        from repro.patterns.pattern import Pattern
+
+        base = MiningRequest(pattern=catalog.triangle())
+        isomorphic = MiningRequest(
+            pattern=Pattern(3, [(2, 1), (1, 0), (0, 2)]))
+        assert server._coalesce_key(base) == server._coalesce_key(
+            isomorphic)
+        induced = MiningRequest(pattern=catalog.triangle(), induced=True)
+        assert server._coalesce_key(base) != server._coalesce_key(induced)
+        other = MiningRequest(pattern=catalog.house())
+        assert server._coalesce_key(base) != server._coalesce_key(other)
+        mine = MiningRequest(pattern=catalog.triangle(), mode="mine")
+        assert server._coalesce_key(mine) is None
